@@ -1,0 +1,102 @@
+//! Criterion benchmarks that exercise each figure's simulation pipeline at
+//! reduced scale. One group per figure: run the corresponding experiment's
+//! inner loop on a representative benchmark so `cargo bench` validates and
+//! times the whole harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use redsoc_bench::{compare_ts, redsoc_for, TraceCache};
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_core::ts::error_rate_at;
+use redsoc_timing::optime::fig1_series;
+use redsoc_workloads::Benchmark;
+
+const LEN: u64 = 20_000;
+
+fn sim_pair(trace: &[redsoc_isa::DynOp]) -> (u64, u64) {
+    let base = simulate(trace.iter().copied(), CoreConfig::big()).expect("baseline run");
+    let red = simulate(
+        trace.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .expect("redsoc run");
+    (base.cycles, red.cycles)
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_alu_times_model", |b| {
+        b.iter(|| black_box(fig1_series()));
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Bitcnt).to_vec();
+    let mut g = c.benchmark_group("fig13_speedup");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(LEN));
+    g.bench_function("bitcnt_baseline_vs_redsoc", |b| {
+        b.iter(|| black_box(sim_pair(&trace)));
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Crc).to_vec();
+    let mut g = c.benchmark_group("fig15_comparators");
+    g.sample_size(10);
+    g.bench_function("crc_ts_error_analysis", |b| {
+        b.iter(|| black_box(error_rate_at(&trace, 400)));
+    });
+    g.bench_function("crc_ts_full", |b| {
+        b.iter(|| {
+            let base = simulate(trace.iter().copied(), CoreConfig::big()).expect("base");
+            let mut cache = TraceCache::new(LEN);
+            black_box(compare_ts(&mut cache, Benchmark::Crc, &CoreConfig::big(), base.cycles))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Bzip2).to_vec();
+    let mut g = c.benchmark_group("fig11_chains");
+    g.sample_size(10);
+    g.bench_function("bzip2_chain_stats", |b| {
+        b.iter(|| {
+            let rep = simulate(
+                trace.iter().copied(),
+                CoreConfig::big().with_sched(redsoc_for(Benchmark::Bzip2.class())),
+            )
+            .expect("run");
+            black_box(rep.chains.weighted_mean())
+        });
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(LEN));
+    for bench in [Benchmark::Xalanc, Benchmark::Conv, Benchmark::Bitcnt] {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(bench.trace(LEN).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01,
+    bench_fig11,
+    bench_fig13,
+    bench_fig15,
+    bench_workload_generation
+);
+criterion_main!(figures);

@@ -1,0 +1,35 @@
+//! §II-B width-predictor ablation: aggressive/conservative misprediction
+//! rates versus table size (paper: 0.3–0.4% aggressive at 4K entries).
+
+use redsoc_isa::instruction::Instr;
+use redsoc_timing::slack::WidthClass;
+use redsoc_timing::width_predictor::WidthPredictor;
+use redsoc_workloads::Benchmark;
+
+fn main() {
+    println!("# Width predictor sweep (all benchmarks' scalar ALU ops)");
+    println!("{:<10} {:>12} {:>12} {:>12}", "entries", "aggressive", "conservative", "state(B)");
+    // One interleaved stream over all benchmarks, PC-tagged per benchmark.
+    let mut stream: Vec<(u32, WidthClass)> = Vec::new();
+    for (i, bench) in Benchmark::paper_set().into_iter().enumerate() {
+        for op in bench.trace(40_000) {
+            if matches!(op.instr, Instr::Alu { .. }) {
+                stream.push((op.pc ^ ((i as u32) << 20), WidthClass::from_bits(op.eff_bits)));
+            }
+        }
+    }
+    for entries in [256usize, 1024, 4096, 16384] {
+        let mut p = WidthPredictor::new(entries, 3);
+        for &(pc, actual) in &stream {
+            let pred = p.predict(pc);
+            p.update(pc, pred, actual);
+        }
+        let s = p.stats();
+        println!(
+            "{entries:<10} {:>11.3}% {:>11.3}% {:>12}",
+            s.aggressive_rate() * 100.0,
+            s.conservative_rate() * 100.0,
+            p.state_bytes()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Isolation experiment: strip the synthetic profile down one axis at a
+//! time to find what hides the recycling gains.
+use redsoc_bench::TraceCache;
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_workloads::spec::{spec_trace, SpecProfile};
+
+fn run(p: &SpecProfile, label: &str) {
+    let trace: Vec<_> = spec_trace(p, 100_000, 5).collect();
+    let base = simulate(trace.iter().copied(), CoreConfig::big()).unwrap();
+    let red = simulate(
+        trace.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    println!(
+        "{label:<28} base_ipc {:.2} mispred {:.3} speedup {:.3} recycled {} chains_w {:.2}",
+        base.ipc(),
+        base.branch.mispredict_rate(),
+        red.speedup_over(&base),
+        red.recycled_ops,
+        red.chains.weighted_mean()
+    );
+    let _ = TraceCache::new(1);
+}
+
+fn main() {
+    let mut p = SpecProfile::bzip2();
+    run(&p, "bzip2 (full)");
+    p.branch_every = 1000;
+    run(&p, "  no branches");
+    p.frac_mem_far = 0.0;
+    run(&p, "  + no far mem");
+    p.frac_mem = 0.0;
+    run(&p, "  + no mem at all");
+    p.chain_prob = 0.95;
+    run(&p, "  + chain 0.95");
+    p.frac_multi = 0.0;
+    run(&p, "  + no multi");
+}

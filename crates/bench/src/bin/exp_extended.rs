@@ -1,0 +1,45 @@
+//! Extended-suite experiment: ReDSOC speedups on kernels beyond the
+//! paper's Fig. 10 set (qsort, dijkstra, sha_mix, dot_i8).
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_isa::interp::Interpreter;
+use redsoc_isa::program::Program;
+use redsoc_isa::trace::DynOp;
+use redsoc_workloads::extended;
+
+fn trace_of(build: fn(u32) -> Program, approx: u64) -> Vec<DynOp> {
+    let probe = build(1);
+    let per = Interpreter::new(&probe).count() as u64;
+    let iters = approx.div_ceil(per.max(1)).max(1) as u32;
+    Interpreter::new(&build(iters)).collect()
+}
+
+fn main() {
+    let approx = std::env::var("REDSOC_TRACE_LEN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000u64);
+    let kernels: [(&str, fn(u32) -> Program); 4] = [
+        ("qsort", extended::qsort),
+        ("dijkstra", extended::dijkstra),
+        ("sha_mix", extended::sha_mix),
+        ("dot_i8", extended::dot_i8),
+    ];
+    println!("# Extended suite: ReDSOC speedup over baseline (%)");
+    println!("{:<10} {:>8} {:>8} {:>8}", "kernel", "BIG", "MEDIUM", "SMALL");
+    for (name, build) in kernels {
+        let trace = trace_of(build, approx);
+        let mut row = Vec::new();
+        for core in [CoreConfig::big(), CoreConfig::medium(), CoreConfig::small()] {
+            let base = simulate(trace.iter().copied(), core.clone()).expect("baseline");
+            let red = simulate(
+                trace.iter().copied(),
+                core.with_sched(SchedulerConfig::redsoc()),
+            )
+            .expect("redsoc");
+            row.push((red.speedup_over(&base) - 1.0) * 100.0);
+        }
+        println!("{name:<10} {:>7.1}% {:>7.1}% {:>7.1}%", row[0], row[1], row[2]);
+    }
+}

@@ -1,0 +1,28 @@
+//! §V "Influence of PVT variation": ReDSOC with CPM-tracked guard-band
+//! recalibration (10k-cycle epochs, Tribeca granularity) adds a small
+//! extra slack component on top of pure data slack.
+
+use redsoc_bench::{redsoc_for, run_on, trace_len, TraceCache};
+use redsoc_core::config::CoreConfig;
+use redsoc_core::config::SchedulerConfig;
+use redsoc_workloads::Benchmark;
+
+fn main() {
+    let mut cache = TraceCache::new(trace_len());
+    let core = CoreConfig::big();
+    println!("# PVT guard-band exploitation on BIG (speedup % over baseline)");
+    println!("{:<12} {:>14} {:>14}", "benchmark", "data slack", "+ PVT band");
+    for bench in [Benchmark::Bitcnt, Benchmark::Crc, Benchmark::Bzip2, Benchmark::Gromacs] {
+        let base = run_on(&mut cache, bench, &core, SchedulerConfig::baseline());
+        let red = run_on(&mut cache, bench, &core, redsoc_for(bench.class()));
+        let mut pvt_sched = redsoc_for(bench.class());
+        pvt_sched.pvt_guard_band = true;
+        let pvt = run_on(&mut cache, bench, &core, pvt_sched);
+        println!(
+            "{:<12} {:>13.1}% {:>13.1}%",
+            bench.name(),
+            (red.speedup_over(&base) - 1.0) * 100.0,
+            (pvt.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+}

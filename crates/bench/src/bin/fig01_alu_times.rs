@@ -1,0 +1,13 @@
+//! Fig. 1: computation time (ps) for every ALU operation on the
+//! single-cycle ARM-style ALU (45 nm, 2 GHz synthesis target).
+
+use redsoc_timing::optime::{fig1_series, CYCLE_PS};
+
+fn main() {
+    println!("# Fig.1: ALU operation compute times (clock period {CYCLE_PS} ps)");
+    println!("{:<10} {:>10} {:>10}", "op", "time(ps)", "slack(%)");
+    for (name, t) in fig1_series() {
+        let slack = 100.0 * f64::from(CYCLE_PS - t) / f64::from(CYCLE_PS);
+        println!("{name:<10} {t:>10} {slack:>9.1}%");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fig. 2: Kogge–Stone adder critical-path delay versus effective operand
+//! width — the log-depth carry chain behind width slack.
+
+use redsoc_timing::kogge_stone::{delay_series, prefix_stages};
+
+fn main() {
+    println!("# Fig.2: Kogge-Stone critical path vs effective width");
+    println!("{:<8} {:>8} {:>10}", "width", "stages", "delay(ps)");
+    for (w, d) in delay_series(32) {
+        if w.is_power_of_two() || w == 24 {
+            println!("{w:<8} {:>8} {d:>10}", prefix_stages(w));
+        }
+    }
+}

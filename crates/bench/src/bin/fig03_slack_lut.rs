@@ -1,0 +1,21 @@
+//! Fig. 3: the 5-bit slack-LUT address and all 14 slack buckets with
+//! their design-time compute/slack values.
+
+use redsoc_timing::optime::CYCLE_PS;
+use redsoc_timing::slack::{SlackBucket, SlackLut};
+
+fn main() {
+    let lut = SlackLut::new();
+    println!("# Fig.3: slack LUT — 5-bit address [arith|shift|simd|width/type(2)]");
+    println!("{:<34} {:>7} {:>10} {:>10}", "bucket", "addr", "time(ps)", "slack(ps)");
+    for b in SlackBucket::all() {
+        println!(
+            "{:<34} {:>#07b} {:>10} {:>10}",
+            format!("{b:?}"),
+            b.lut_address(),
+            lut.compute_ps(b),
+            lut.slack_ps(b)
+        );
+    }
+    println!("\nclock period: {CYCLE_PS} ps; buckets: {}", SlackBucket::all().len());
+}

@@ -1,0 +1,34 @@
+//! Fig. 10: benchmark operation characteristics — the distribution of
+//! committed operations over the paper's six categories.
+
+use redsoc_bench::{run_on, trace_len, TraceCache};
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::stats::OpCategory;
+use redsoc_workloads::Benchmark;
+
+fn main() {
+    let mut cache = TraceCache::new(trace_len());
+    let cats = [
+        OpCategory::MemHighLatency,
+        OpCategory::MemLowLatency,
+        OpCategory::Simd,
+        OpCategory::OtherMulti,
+        OpCategory::AluLowSlack,
+        OpCategory::AluHighSlack,
+    ];
+    println!("# Fig.10: operation distribution (% of non-control ops)");
+    print!("{:<12}", "benchmark");
+    for c in cats {
+        print!(" {:>10}", c.label());
+    }
+    println!();
+    let core = CoreConfig::big();
+    for bench in Benchmark::paper_set() {
+        let rep = run_on(&mut cache, bench, &core, SchedulerConfig::baseline());
+        print!("{:<12}", bench.name());
+        for c in cats {
+            print!(" {:>9.1}%", rep.op_mix.fraction(c) * 100.0);
+        }
+        println!();
+    }
+}

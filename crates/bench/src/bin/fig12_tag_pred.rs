@@ -1,0 +1,31 @@
+//! Fig. 12: last-arriving parent/grandparent tag misprediction rate of the
+//! operational RSE design (1K-entry predictor).
+
+use redsoc_bench::{cores, mean, redsoc_for, run_on, trace_len, TraceCache};
+use redsoc_workloads::{BenchClass, Benchmark};
+
+fn main() {
+    let mut cache = TraceCache::new(trace_len());
+    println!("# Fig.12: P/GP last-arrival tag misprediction (%)");
+    println!("{:<14} {:>8} {:>8} {:>8}", "class", "BIG", "MEDIUM", "SMALL");
+    for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
+        let mut row = Vec::new();
+        for (_, core) in cores() {
+            let mut vals = Vec::new();
+            for bench in Benchmark::of_class(class) {
+                let rep = run_on(&mut cache, bench, &core, redsoc_for(class));
+                if rep.tag_pred.predictions > 0 {
+                    vals.push(rep.tag_pred.mispredict_rate() * 100.0);
+                }
+            }
+            row.push(mean(&vals));
+        }
+        println!(
+            "{:<14} {:>7.2}% {:>7.2}% {:>7.2}%",
+            format!("{}-MEAN", class.label()),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+}

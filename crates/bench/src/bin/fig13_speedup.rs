@@ -1,0 +1,37 @@
+//! Fig. 13: speedup of ReDSOC over the baseline for every benchmark on
+//! each Table I core, with per-class means.
+
+use redsoc_bench::{compare, cores, mean, trace_len, TraceCache};
+use redsoc_workloads::{BenchClass, Benchmark};
+
+fn main() {
+    let mut cache = TraceCache::new(trace_len());
+    println!("# Fig.13: ReDSOC speedup over baseline (%)");
+    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "BIG", "MEDIUM", "SMALL");
+    let mut class_acc: Vec<(BenchClass, [Vec<f64>; 3])> = vec![
+        (BenchClass::Spec, [vec![], vec![], vec![]]),
+        (BenchClass::MiBench, [vec![], vec![], vec![]]),
+        (BenchClass::Ml, [vec![], vec![], vec![]]),
+    ];
+    for bench in Benchmark::paper_set() {
+        let mut row = Vec::new();
+        for (ci, (_, core)) in cores().iter().enumerate() {
+            let cmp = compare(&mut cache, bench, core);
+            let sp = (cmp.speedup() - 1.0) * 100.0;
+            row.push(sp);
+            let acc = class_acc.iter_mut().find(|(c, _)| *c == bench.class()).unwrap();
+            acc.1[ci].push(sp);
+        }
+        println!("{:<12} {:>7.1}% {:>7.1}% {:>7.1}%", bench.name(), row[0], row[1], row[2]);
+    }
+    println!();
+    for (class, accs) in &class_acc {
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%",
+            format!("{}-MEAN", class.label()),
+            mean(&accs[0]),
+            mean(&accs[1]),
+            mean(&accs[2])
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 15: ReDSOC versus the prior-work comparators — TS (Razor-style
+//! timing speculation, error rate bounded at 1%) and MOS (dynamic fusion
+//! of operations into single cycles).
+
+use redsoc_bench::{compare, compare_ts, cores, mean, run_on, trace_len, TraceCache};
+use redsoc_core::config::SchedulerConfig;
+use redsoc_workloads::{BenchClass, Benchmark};
+
+fn main() {
+    let mut cache = TraceCache::new(trace_len());
+    println!("# Fig.15: speedup over baseline (%), ReDSOC vs TS vs MOS");
+    println!("{:<22} {:>8} {:>8} {:>8}", "class:core", "ReDSOC", "TS", "MOS");
+    for (cname, core) in cores() {
+        for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
+            let mut red = Vec::new();
+            let mut ts = Vec::new();
+            let mut mos = Vec::new();
+            for bench in Benchmark::of_class(class) {
+                let cmp = compare(&mut cache, bench, &core);
+                red.push((cmp.speedup() - 1.0) * 100.0);
+                let t = compare_ts(&mut cache, bench, &core, cmp.base.cycles);
+                ts.push((t.speedup - 1.0) * 100.0);
+                let m = run_on(&mut cache, bench, &core, SchedulerConfig::mos());
+                mos.push((m.speedup_over(&cmp.base) - 1.0) * 100.0);
+            }
+            println!(
+                "{:<22} {:>7.1}% {:>7.1}% {:>7.1}%",
+                format!("{cname}:{}-MEAN", class.label()),
+                mean(&red),
+                mean(&ts),
+                mean(&mos)
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Run every experiment binary's logic in sequence — the one-shot
+//! reproduction driver behind `EXPERIMENTS.md`.
+//!
+//! Respects `REDSOC_TRACE_LEN`; with the default 300k-instruction traces a
+//! full run takes a few minutes in release mode.
+
+use std::process::Command;
+
+const BINS: [&str; 14] = [
+    "fig01_alu_times",
+    "fig02_ks_adder",
+    "fig03_slack_lut",
+    "tab1_configs",
+    "tab2_kernels",
+    "fig10_opmix",
+    "fig11_seq_len",
+    "fig12_tag_pred",
+    "fig13_speedup",
+    "fig14_fu_stalls",
+    "fig15_comparison",
+    "abl_precision",
+    "abl_threshold",
+    "abl_width_pred",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe has a parent dir");
+    let mut all = BINS.to_vec();
+    all.push("exp_power");
+    all.push("exp_pvt");
+    all.push("exp_extended");
+    for bin in all {
+        println!("\n================ {bin} ================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

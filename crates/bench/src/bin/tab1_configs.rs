@@ -1,0 +1,22 @@
+//! Table I: the three processor baselines.
+
+use redsoc_bench::cores;
+
+fn main() {
+    println!("# Table I: processor baselines (2 GHz)");
+    println!(
+        "{:<12} {:>6} {:>14} {:>12} {:>10}",
+        "parameter", "width", "ROB/LSQ/RSE", "ALU/SIMD/FP", "caches"
+    );
+    for (name, c) in cores().iter().rev() {
+        println!(
+            "{:<12} {:>6} {:>14} {:>12} {:>10}",
+            name,
+            c.frontend_width,
+            format!("{}/{}/{}", c.rob_entries, c.lsq_entries, c.rse_entries),
+            format!("{}/{}/{}", c.alu_units, c.simd_units, c.fp_units),
+            format!("{}kB/{}MB", c.l1.size_bytes >> 10, c.l2.size_bytes >> 20),
+        );
+    }
+    println!("\nL1/L2 with stride prefetch: {}", cores()[0].1.prefetch);
+}

@@ -1,0 +1,36 @@
+//! Table II: the machine-learning kernels, with measured trace profiles.
+
+use redsoc_isa::interp::Interpreter;
+use redsoc_isa::opcode::ExecClass;
+use redsoc_workloads::ml;
+
+fn main() {
+    println!("# Table II: kernels for machine learning");
+    let kernels: [(&str, &str, fn(u32) -> redsoc_isa::Program); 5] = [
+        ("CONV", "Convolution: Gaussian 3x3 (VMLA chains)", ml::conv3x3),
+        ("ACT", "Activation: ReLU (VMAX.i16)", ml::relu),
+        ("POOL0", "Pooling: 2x2 Max", ml::pool_max),
+        ("POOL1", "Pooling: 2x2 Average", ml::pool_avg),
+        ("SOFTMAX", "Softmax function", ml::softmax),
+    ];
+    println!("{:<9} {:<42} {:>8} {:>7} {:>7}", "kernel", "description", "ops/it", "simd%", "mem%");
+    for (name, desc, build) in kernels {
+        let p = build(1);
+        let mut total = 0u64;
+        let mut simd = 0u64;
+        let mut mem = 0u64;
+        for op in Interpreter::new(&p) {
+            total += 1;
+            match op.instr.exec_class() {
+                ExecClass::SimdAlu | ExecClass::SimdMul => simd += 1,
+                ExecClass::Load | ExecClass::Store => mem += 1,
+                _ => {}
+            }
+        }
+        println!(
+            "{name:<9} {desc:<42} {total:>8} {:>6.1}% {:>6.1}%",
+            simd as f64 / total as f64 * 100.0,
+            mem as f64 / total as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! # redsoc-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. Each
+//! `fig*`/`tab*`/`abl*`/`exp*` binary prints one figure's data as
+//! machine-readable rows; `reproduce` runs them all (see `EXPERIMENTS.md`
+//! for the paper-vs-measured record).
+//!
+//! This library holds the shared experiment runner: workload → trace →
+//! simulation on each Table I core under each scheduler mode.
+
+#![warn(missing_docs)]
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_core::stats::SimReport;
+use redsoc_core::ts::{run_ts, TsResult};
+use redsoc_isa::trace::DynOp;
+use redsoc_workloads::{BenchClass, Benchmark};
+
+/// Default dynamic-instruction budget per simulation. Chosen so every
+/// workload reaches steady state while the full figure sweep stays fast;
+/// raise via `REDSOC_TRACE_LEN` for higher-fidelity runs.
+pub const DEFAULT_TRACE_LEN: u64 = 300_000;
+
+/// Trace length, honouring the `REDSOC_TRACE_LEN` environment variable.
+#[must_use]
+pub fn trace_len() -> u64 {
+    std::env::var("REDSOC_TRACE_LEN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN)
+}
+
+/// The three Table I cores with their display names.
+#[must_use]
+pub fn cores() -> [(&'static str, CoreConfig); 3] {
+    [
+        ("BIG", CoreConfig::big()),
+        ("MEDIUM", CoreConfig::medium()),
+        ("SMALL", CoreConfig::small()),
+    ]
+}
+
+/// Per-application-class recycle threshold, tuned by the `abl_threshold`
+/// sweep exactly as the paper tunes per benchmark set (§IV-C, §VI-C).
+#[must_use]
+pub fn tuned_threshold(class: BenchClass) -> u64 {
+    match class {
+        // Compute-rich classes recycle aggressively.
+        BenchClass::MiBench | BenchClass::Ml => 7,
+        // SPEC has more FU pressure from memory-adjacent work.
+        BenchClass::Spec => 7,
+    }
+}
+
+/// A ReDSOC scheduler configuration tuned for `class`.
+#[must_use]
+pub fn redsoc_for(class: BenchClass) -> SchedulerConfig {
+    let mut s = SchedulerConfig::redsoc();
+    s.threshold_ticks = tuned_threshold(class);
+    s
+}
+
+/// One benchmark's traces are expensive to generate; cache per run.
+pub struct TraceCache {
+    entries: Vec<(Benchmark, Vec<DynOp>)>,
+    len: u64,
+}
+
+impl TraceCache {
+    /// Create a cache generating traces of `len` dynamic instructions.
+    #[must_use]
+    pub fn new(len: u64) -> Self {
+        TraceCache { entries: Vec::new(), len }
+    }
+
+    /// The trace for `bench`, generated on first use.
+    pub fn get(&mut self, bench: Benchmark) -> &[DynOp] {
+        if let Some(pos) = self.entries.iter().position(|(b, _)| *b == bench) {
+            return &self.entries[pos].1;
+        }
+        let t = bench.trace(self.len);
+        self.entries.push((bench, t));
+        &self.entries.last().expect("just pushed").1
+    }
+}
+
+/// Run `bench` on `core` with scheduler `sched`.
+///
+/// # Panics
+///
+/// Panics on simulator errors (experiments are deterministic; an error is
+/// a bug, not an expected outcome).
+pub fn run_on(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig, sched: SchedulerConfig) -> SimReport {
+    let trace = cache.get(bench).to_vec();
+    let config = core.clone().with_sched(sched);
+    simulate(trace.into_iter(), config)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), core.name))
+}
+
+/// Baseline and ReDSOC reports plus the derived speedup for one
+/// benchmark × core pair.
+pub struct Comparison {
+    /// Baseline run.
+    pub base: SimReport,
+    /// ReDSOC run (class-tuned threshold).
+    pub redsoc: SimReport,
+}
+
+impl Comparison {
+    /// Speedup of ReDSOC over baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.redsoc.speedup_over(&self.base)
+    }
+}
+
+/// Run the baseline/ReDSOC pair for one benchmark × core.
+pub fn compare(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig) -> Comparison {
+    let base = run_on(cache, bench, core, SchedulerConfig::baseline());
+    let redsoc = run_on(cache, bench, core, redsoc_for(bench.class()));
+    Comparison { base, redsoc }
+}
+
+/// Run the TS comparator for one benchmark × core (§VI-D), given the
+/// baseline cycles.
+pub fn compare_ts(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig, baseline_cycles: u64) -> TsResult {
+    let trace = cache.get(bench).to_vec();
+    run_ts(&trace, core, baseline_cycles, 0.01)
+        .unwrap_or_else(|e| panic!("TS {} on {}: {e}", bench.name(), core.name))
+}
+
+/// Geometric-mean helper for class averages (the paper reports means per
+/// benchmark class).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn trace_cache_reuses_traces() {
+        let mut c = TraceCache::new(2_000);
+        let a_len = c.get(Benchmark::Bitcnt).len();
+        let b_len = c.get(Benchmark::Bitcnt).len();
+        assert_eq!(a_len, b_len);
+        assert_eq!(c.entries.len(), 1);
+    }
+
+    #[test]
+    fn smoke_comparison_on_small_trace() {
+        let mut c = TraceCache::new(5_000);
+        let cmp = compare(&mut c, Benchmark::Bitcnt, &CoreConfig::big());
+        assert!(cmp.speedup() > 1.0, "bitcnt must speed up: {}", cmp.speedup());
+    }
+}

@@ -1,0 +1,269 @@
+//! Core and scheduler configuration (paper Table I).
+
+use redsoc_mem::{CacheConfig, MemLatencies};
+use redsoc_timing::Quant;
+
+/// Which scheduling mechanism the simulated core runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Conventional out-of-order scheduling: every single-cycle operation
+    /// completes at a clock boundary; no slack is recycled.
+    Baseline,
+    /// ReDSOC: slack-aware scheduling with transparent dataflow, eager
+    /// grandparent wakeup and skewed selection (§III–IV).
+    Redsoc,
+    /// MOS — "Multiple Operations in Single-cycle": dynamic operation
+    /// fusion of dependent ops that jointly fit in one clock period
+    /// (the paper's §VI-D comparison point).
+    Mos,
+}
+
+/// Scheduler options (the paper's design knobs and ablation axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Scheduling mechanism.
+    pub mode: SchedMode,
+    /// Completion-Instant precision in bits (paper: 3, saturating).
+    pub ci_bits: u8,
+    /// Slack threshold in CI ticks: a grandparent-woken consumer issues
+    /// early only when its parent's completion instant falls at or below
+    /// this tick within the cycle (§IV-C). Tuned per application class by
+    /// sweep in the paper.
+    pub threshold_ticks: u64,
+    /// Prioritise non-speculative over grandparent-speculative select
+    /// requests (§IV-D). Turning this off exposes GP-mispeculation.
+    pub skewed_select: bool,
+    /// Enable eager grandparent wakeup (§IV-B). Without it, slack is only
+    /// recycled across boundary-crossing producers.
+    pub egpw: bool,
+    /// Last-arriving-operand tag predictor entries (operational design,
+    /// §IV-C; paper uses 1K).
+    pub tag_predictor_entries: usize,
+    /// Data-width predictor entries (§II-B; paper uses 4K).
+    pub width_predictor_entries: usize,
+    /// Penalty cycles charged when a last-arrival tag prediction is wrong
+    /// (recovery "identical to latency mispredictions but lower penalty").
+    pub tag_mispredict_penalty: u32,
+    /// Penalty cycles for an aggressive width misprediction (selective
+    /// reissue, like a cache-miss replay).
+    pub width_replay_penalty: u32,
+    /// Exploit the PVT guard band on top of data slack (§V): critical-path
+    /// monitors near the ALUs recalibrate the slack LUT every 10k cycles.
+    /// Off by default — the paper's headline numbers isolate data slack at
+    /// the worst-case PVT corner.
+    pub pvt_guard_band: bool,
+}
+
+impl SchedulerConfig {
+    /// The paper's ReDSOC operating point.
+    #[must_use]
+    pub fn redsoc() -> Self {
+        SchedulerConfig {
+            mode: SchedMode::Redsoc,
+            ci_bits: 3,
+            threshold_ticks: 7,
+            skewed_select: true,
+            egpw: true,
+            tag_predictor_entries: 1024,
+            width_predictor_entries: 4096,
+            tag_mispredict_penalty: 2,
+            width_replay_penalty: 3,
+            pvt_guard_band: false,
+        }
+    }
+
+    /// Conventional baseline scheduling.
+    #[must_use]
+    pub fn baseline() -> Self {
+        SchedulerConfig { mode: SchedMode::Baseline, ..SchedulerConfig::redsoc() }
+    }
+
+    /// The MOS operation-fusion comparator.
+    #[must_use]
+    pub fn mos() -> Self {
+        SchedulerConfig { mode: SchedMode::Mos, ..SchedulerConfig::redsoc() }
+    }
+
+    /// The CI quantiser implied by `ci_bits`.
+    #[must_use]
+    pub fn quant(&self) -> Quant {
+        Quant::new(self.ci_bits)
+    }
+}
+
+/// Full core configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Human-readable name ("small" / "medium" / "big").
+    pub name: &'static str,
+    /// Front-end (fetch/decode/rename/commit) width, instructions/cycle.
+    pub frontend_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// Reservation-station entries.
+    pub rse_entries: u32,
+    /// Integer ALUs (also execute branches; multiplies/divides occupy an
+    /// ALU's issue slot).
+    pub alu_units: u32,
+    /// SIMD units.
+    pub simd_units: u32,
+    /// FP units.
+    pub fp_units: u32,
+    /// Load/store address-generation ports.
+    pub mem_ports: u32,
+    /// Fetch-to-dispatch pipeline depth in cycles.
+    pub frontend_depth: u32,
+    /// Branch misprediction redirect penalty in cycles (on top of waiting
+    /// for the branch to resolve).
+    pub mispredict_penalty: u32,
+    /// L1 data-cache geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Cache/DRAM latencies.
+    pub mem_latencies: MemLatencies,
+    /// Enable the stride prefetcher (Table I: on).
+    pub prefetch: bool,
+    /// Scheduler options.
+    pub sched: SchedulerConfig,
+}
+
+impl CoreConfig {
+    /// Table I "Small": 3-wide, 40/16/32 ROB/LSQ/RSE, 3/2/2 ALU/SIMD/FP.
+    #[must_use]
+    pub fn small() -> Self {
+        CoreConfig {
+            name: "small",
+            frontend_width: 3,
+            rob_entries: 40,
+            lsq_entries: 16,
+            rse_entries: 32,
+            alu_units: 3,
+            simd_units: 2,
+            fp_units: 2,
+            mem_ports: 2,
+            frontend_depth: 5,
+            mispredict_penalty: 8,
+            l1: CacheConfig::l1_64k(),
+            l2: CacheConfig::l2_2m(),
+            mem_latencies: MemLatencies::default(),
+            prefetch: true,
+            sched: SchedulerConfig::baseline(),
+        }
+    }
+
+    /// Table I "Medium": 4-wide, 80/32/64, 4/3/3.
+    #[must_use]
+    pub fn medium() -> Self {
+        CoreConfig {
+            name: "medium",
+            frontend_width: 4,
+            rob_entries: 80,
+            lsq_entries: 32,
+            rse_entries: 64,
+            alu_units: 4,
+            simd_units: 3,
+            fp_units: 3,
+            ..CoreConfig::small()
+        }
+    }
+
+    /// Table I "Big": 8-wide, 160/64/128, 6/4/4.
+    #[must_use]
+    pub fn big() -> Self {
+        CoreConfig {
+            name: "big",
+            frontend_width: 8,
+            rob_entries: 160,
+            lsq_entries: 64,
+            rse_entries: 128,
+            alu_units: 6,
+            simd_units: 4,
+            fp_units: 4,
+            mem_ports: 3,
+            ..CoreConfig::small()
+        }
+    }
+
+    /// The three Table I cores, smallest first.
+    #[must_use]
+    pub fn table1() -> [CoreConfig; 3] {
+        [CoreConfig::small(), CoreConfig::medium(), CoreConfig::big()]
+    }
+
+    /// Replace the scheduler configuration (builder-style).
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedulerConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Validate structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frontend_width == 0 {
+            return Err("frontend width must be positive".into());
+        }
+        if self.rob_entries < self.frontend_width {
+            return Err("ROB must hold at least one fetch group".into());
+        }
+        if self.rse_entries == 0 || self.lsq_entries == 0 {
+            return Err("RSE/LSQ must be non-empty".into());
+        }
+        if self.alu_units == 0 {
+            return Err("need at least one ALU".into());
+        }
+        if !(1..=8).contains(&self.sched.ci_bits) {
+            return Err("CI precision must be 1..=8 bits".into());
+        }
+        if self.sched.threshold_ticks > self.sched.quant().ticks_per_cycle() {
+            return Err("threshold cannot exceed one cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_match_paper() {
+        let [s, m, b] = CoreConfig::table1();
+        assert_eq!((s.frontend_width, s.rob_entries, s.lsq_entries, s.rse_entries), (3, 40, 16, 32));
+        assert_eq!((s.alu_units, s.simd_units, s.fp_units), (3, 2, 2));
+        assert_eq!((m.frontend_width, m.rob_entries, m.lsq_entries, m.rse_entries), (4, 80, 32, 64));
+        assert_eq!((m.alu_units, m.simd_units, m.fp_units), (4, 3, 3));
+        assert_eq!((b.frontend_width, b.rob_entries, b.lsq_entries, b.rse_entries), (8, 160, 64, 128));
+        assert_eq!((b.alu_units, b.simd_units, b.fp_units), (6, 4, 4));
+        for c in [&s, &m, &b] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sched_presets() {
+        assert_eq!(SchedulerConfig::redsoc().mode, SchedMode::Redsoc);
+        assert_eq!(SchedulerConfig::baseline().mode, SchedMode::Baseline);
+        assert_eq!(SchedulerConfig::mos().mode, SchedMode::Mos);
+        assert_eq!(SchedulerConfig::redsoc().quant().ticks_per_cycle(), 8);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = CoreConfig::small();
+        c.alu_units = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::small();
+        c.sched.ci_bits = 9;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::small();
+        c.sched.threshold_ticks = 100;
+        assert!(c.validate().is_err());
+    }
+}

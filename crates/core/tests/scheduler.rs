@@ -1,0 +1,259 @@
+//! Scheduler-focused integration tests: ablations and corner paths that
+//! the unit tests don't reach (EGPW off, tiny queues, width replays, VMLA
+//! accumulate chains, PVT recalibration).
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_isa::instruction::{Instr, LabelId};
+use redsoc_isa::opcode::{AluOp, Cond, MemWidth, SimdOp, SimdType};
+use redsoc_isa::operand::Operand2;
+use redsoc_isa::program::{r, v};
+use redsoc_isa::trace::DynOp;
+
+fn eor_chain(n: u64, eff_bits: u8) -> Vec<DynOp> {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        let instr = Instr::Alu {
+            op: AluOp::Eor,
+            dst: Some(r(1)),
+            src1: Some(r(1)),
+            op2: Operand2::Imm(0x3C),
+            set_flags: false,
+        };
+        let mut d = DynOp::simple(i, (i % 64) as u32 * 4, instr);
+        d.eff_bits = eff_bits;
+        ops.push(d);
+    }
+    ops.push(DynOp::simple(n, 0, Instr::Halt));
+    ops
+}
+
+#[test]
+fn egpw_is_required_for_within_cycle_pairs() {
+    let trace = eor_chain(3_000, 8);
+    let base = simulate(trace.iter().copied(), CoreConfig::big()).unwrap();
+    let with = simulate(
+        trace.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    let mut no_egpw = SchedulerConfig::redsoc();
+    no_egpw.egpw = false;
+    let without = simulate(trace.iter().copied(), CoreConfig::big().with_sched(no_egpw)).unwrap();
+    // Short logic ops complete within their own cycle, so without EGPW
+    // nothing can catch their slack; with EGPW, pairs share cycles.
+    assert!(with.speedup_over(&base) > 1.5);
+    assert!(without.speedup_over(&base) < 1.1, "no EGPW ⇒ no within-cycle pairing");
+    assert_eq!(without.egpw_issues, 0);
+}
+
+#[test]
+fn tiny_queues_still_commit_everything() {
+    let trace = eor_chain(2_000, 8);
+    let mut cfg = CoreConfig::small().with_sched(SchedulerConfig::redsoc());
+    cfg.rob_entries = 8;
+    cfg.rse_entries = 4;
+    cfg.lsq_entries = 2;
+    let rep = simulate(trace.iter().copied(), cfg).unwrap();
+    assert_eq!(rep.committed, 2_001);
+}
+
+#[test]
+fn width_replays_are_charged_but_bounded() {
+    // Per-PC flapping widths provoke aggressive mispredictions.
+    let mut ops = Vec::new();
+    for i in 0..4_000u64 {
+        let instr = Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(1)),
+            src1: Some(r(1)),
+            op2: Operand2::Imm(1),
+            set_flags: false,
+        };
+        let mut d = DynOp::simple(i, 0x40, instr);
+        // Long narrow runs with occasional wide values: the resetting
+        // predictor saturates, then gets burned.
+        d.eff_bits = if i % 37 == 0 { 31 } else { 5 };
+        ops.push(d);
+    }
+    ops.push(DynOp::simple(4_000, 0, Instr::Halt));
+    let base = simulate(ops.iter().copied(), CoreConfig::big()).unwrap();
+    let red = simulate(
+        ops.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    assert!(red.width_pred.aggressive > 0, "flapping widths must cause replays");
+    // Replays cost, but narrow-add recycling still wins overall.
+    assert!(red.speedup_over(&base) > 1.0, "speedup {:.3}", red.speedup_over(&base));
+}
+
+#[test]
+fn vmla_accumulate_chains_recycle_slack() {
+    // vdup weights once, then a long VMLA chain accumulating into v2.
+    let mut ops = Vec::new();
+    let mut seq = 0u64;
+    for dst in [v(0), v(1), v(2)] {
+        ops.push(DynOp::simple(
+            seq,
+            seq as u32 * 4,
+            Instr::Simd { op: SimdOp::Vdup, ty: SimdType::I16, dst, src1: None, src2: None, imm: 3 },
+        ));
+        seq += 1;
+    }
+    for i in 0..3_000u64 {
+        let instr = Instr::Simd {
+            op: SimdOp::Vmla,
+            ty: SimdType::I16,
+            dst: v(2),
+            src1: Some(v(0)),
+            src2: Some(v(1)),
+            imm: 0,
+        };
+        let mut d = DynOp::simple(seq, (16 + (i % 8) * 4) as u32, instr);
+        d.eff_bits = 16;
+        ops.push(d);
+        seq += 1;
+    }
+    ops.push(DynOp::simple(seq, 0, Instr::Halt));
+    let base = simulate(ops.iter().copied(), CoreConfig::big()).unwrap();
+    let red = simulate(
+        ops.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    // Baseline: late-forwarded accumulates run at 1/cycle. ReDSOC recycles
+    // the narrow accumulate adder's slack across the chain.
+    let ipc = base.ipc();
+    assert!((0.8..=1.3).contains(&ipc), "baseline VMLA chain is II=1: {ipc:.2}");
+    assert!(
+        red.speedup_over(&base) > 1.1,
+        "accumulate chains must recycle: {:.3}",
+        red.speedup_over(&base)
+    );
+}
+
+#[test]
+fn pvt_guard_band_never_hurts_much_and_usually_helps() {
+    let trace = eor_chain(5_000, 8);
+    let base = simulate(trace.iter().copied(), CoreConfig::big()).unwrap();
+    let plain = simulate(
+        trace.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    let mut s = SchedulerConfig::redsoc();
+    s.pvt_guard_band = true;
+    let pvt = simulate(trace.iter().copied(), CoreConfig::big().with_sched(s)).unwrap();
+    assert_eq!(pvt.committed, base.committed);
+    let plain_sp = plain.speedup_over(&base);
+    let pvt_sp = pvt.speedup_over(&base);
+    assert!(
+        pvt_sp > plain_sp * 0.97,
+        "guard band must not regress materially: {pvt_sp:.3} vs {plain_sp:.3}"
+    );
+}
+
+#[test]
+fn redirects_resolve_even_when_the_branch_is_the_last_op() {
+    // A mispredicted branch just before HALT must not wedge fetch.
+    let mut ops = Vec::new();
+    let cmp = Instr::Alu {
+        op: AluOp::Cmp,
+        dst: None,
+        src1: Some(r(1)),
+        op2: Operand2::Imm(0),
+        set_flags: true,
+    };
+    // Random-looking direction stream so the last one is likely wrong.
+    let mut x = 7u64;
+    for i in 0..100u64 {
+        ops.push(DynOp::simple(2 * i, 0x10, cmp));
+        let br = Instr::Branch { cond: Cond::Ne, target: LabelId::new(0) };
+        let mut d = DynOp::simple(2 * i + 1, 0x14, br);
+        x ^= x << 13;
+        x ^= x >> 7;
+        d.taken = x & 1 == 1;
+        ops.push(d);
+    }
+    ops.push(DynOp::simple(200, 0, Instr::Halt));
+    let rep = simulate(
+        ops.iter().copied(),
+        CoreConfig::small().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    assert_eq!(rep.committed, 201);
+    assert!(rep.branch.mispredictions > 0);
+}
+
+#[test]
+fn loads_wait_for_unissued_overlapping_stores() {
+    // A store whose data comes off a long dependence chain, immediately
+    // followed by a load of the same address: the load must observe the
+    // ordering (and forward), never deadlock.
+    let mut ops = Vec::new();
+    let mut seq = 0u64;
+    // long chain producing the store data
+    for _ in 0..20 {
+        let instr = Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(2)),
+            src1: Some(r(2)),
+            op2: Operand2::Imm(1),
+            set_flags: false,
+        };
+        ops.push(DynOp::simple(seq, (seq % 32) as u32 * 4, instr));
+        seq += 1;
+    }
+    let store = Instr::Store { src: r(2), base: r(0), offset: 0, width: MemWidth::B4 };
+    let mut s = DynOp::simple(seq, 0x100, store);
+    s.eff_addr = Some(0x4000);
+    ops.push(s);
+    seq += 1;
+    let load = Instr::Load { dst: r(3), base: r(0), offset: 0, width: MemWidth::B4 };
+    let mut l = DynOp::simple(seq, 0x104, load);
+    l.eff_addr = Some(0x4000);
+    ops.push(l);
+    seq += 1;
+    // consumer of the load
+    let use_ = Instr::Alu {
+        op: AluOp::Add,
+        dst: Some(r(4)),
+        src1: Some(r(3)),
+        op2: Operand2::Imm(0),
+        set_flags: false,
+    };
+    ops.push(DynOp::simple(seq, 0x108, use_));
+    seq += 1;
+    ops.push(DynOp::simple(seq, 0, Instr::Halt));
+    let rep = simulate(
+        ops.iter().copied(),
+        CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+    )
+    .unwrap();
+    assert_eq!(rep.committed, seq + 1);
+}
+
+#[test]
+fn mos_and_redsoc_agree_with_baseline_on_serial_multicycle_code() {
+    // Divides are untouched by every mechanism: all three schedulers
+    // should produce near-identical timing on a divide chain.
+    let mut ops = Vec::new();
+    for i in 0..300u64 {
+        let instr = Instr::MulDiv {
+            op: redsoc_isa::opcode::MulOp::Udiv,
+            dst: r(1),
+            src1: r(1),
+            src2: r(2),
+            acc: None,
+        };
+        ops.push(DynOp::simple(i, (i % 16) as u32 * 4, instr));
+    }
+    ops.push(DynOp::simple(300, 0, Instr::Halt));
+    let base = simulate(ops.iter().copied(), CoreConfig::big()).unwrap();
+    for sched in [SchedulerConfig::redsoc(), SchedulerConfig::mos()] {
+        let rep = simulate(ops.iter().copied(), CoreConfig::big().with_sched(sched)).unwrap();
+        let ratio = rep.cycles as f64 / base.cycles as f64;
+        assert!((0.99..=1.01).contains(&ratio), "divide chain timing must match: {ratio}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Architectural register identifiers.
+//!
+//! The micro-ISA exposes three register classes, mapped onto a single flat
+//! 8-bit namespace so that downstream structures (the register alias table,
+//! scoreboards, dependence analysis) can index registers with one small
+//! integer:
+//!
+//! | class  | names        | flat indices |
+//! |--------|--------------|--------------|
+//! | scalar | `r0`..`r31`  | 0..=31       |
+//! | SIMD   | `v0`..`v15`  | 32..=47      |
+//! | FP     | `f0`..`f15`  | 48..=63      |
+//! | flags  | `flags`      | 64           |
+//!
+//! The condition flags (NZCV) are modelled as one extra architectural
+//! register so that flag-setting instructions and flag consumers (conditional
+//! branches, `ADC`, `SBC`, `RRX`) participate in ordinary dependence
+//! tracking, exactly like gem5's `CCReg` class.
+
+use core::fmt;
+
+/// Number of scalar integer registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of 64-bit SIMD registers.
+pub const NUM_SIMD_REGS: u8 = 16;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: u8 = 16;
+/// Total number of flat architectural registers (including the flags
+/// pseudo-register).
+pub const NUM_ARCH_REGS: usize = 65;
+
+/// A register class, recoverable from any [`ArchReg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 32-bit scalar integer register.
+    Int,
+    /// 64-bit SIMD register (NEON-like `D` register).
+    Simd,
+    /// Floating-point register.
+    Fp,
+    /// The NZCV condition-flags pseudo-register.
+    Flags,
+}
+
+/// An architectural register in the flat 0..=64 namespace.
+///
+/// Construct with [`ArchReg::int`], [`ArchReg::simd`], [`ArchReg::fp`] or
+/// [`ArchReg::flags`]; the raw index is available via [`ArchReg::index`].
+///
+/// ```
+/// use redsoc_isa::reg::{ArchReg, RegClass};
+///
+/// let r3 = ArchReg::int(3);
+/// assert_eq!(r3.class(), RegClass::Int);
+/// assert_eq!(r3.index(), 3);
+/// assert_eq!(ArchReg::simd(0).index(), 32);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Flat index of the first SIMD register.
+    const SIMD_BASE: u8 = NUM_INT_REGS;
+    /// Flat index of the first FP register.
+    const FP_BASE: u8 = NUM_INT_REGS + NUM_SIMD_REGS;
+    /// Flat index of the flags pseudo-register.
+    const FLAGS_INDEX: u8 = NUM_INT_REGS + NUM_SIMD_REGS + NUM_FP_REGS;
+
+    /// Scalar integer register `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn int(n: u8) -> Self {
+        assert!(n < NUM_INT_REGS, "integer register index {n} out of range");
+        ArchReg(n)
+    }
+
+    /// SIMD register `v{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    #[must_use]
+    pub fn simd(n: u8) -> Self {
+        assert!(n < NUM_SIMD_REGS, "SIMD register index {n} out of range");
+        ArchReg(Self::SIMD_BASE + n)
+    }
+
+    /// Floating-point register `f{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    #[must_use]
+    pub fn fp(n: u8) -> Self {
+        assert!(n < NUM_FP_REGS, "FP register index {n} out of range");
+        ArchReg(Self::FP_BASE + n)
+    }
+
+    /// The NZCV condition-flags pseudo-register.
+    #[must_use]
+    pub fn flags() -> Self {
+        ArchReg(Self::FLAGS_INDEX)
+    }
+
+    /// Flat index in `0..NUM_ARCH_REGS`, suitable for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Recover the register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        match self.0 {
+            n if n < Self::SIMD_BASE => RegClass::Int,
+            n if n < Self::FP_BASE => RegClass::Simd,
+            n if n < Self::FLAGS_INDEX => RegClass::Fp,
+            _ => RegClass::Flags,
+        }
+    }
+
+    /// Index within the register's own class (e.g. `v3` → 3).
+    #[must_use]
+    pub fn class_index(self) -> u8 {
+        match self.class() {
+            RegClass::Int => self.0,
+            RegClass::Simd => self.0 - Self::SIMD_BASE,
+            RegClass::Fp => self.0 - Self::FP_BASE,
+            RegClass::Flags => 0,
+        }
+    }
+
+    /// Reconstruct a register from its flat index.
+    ///
+    /// Returns `None` if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Self> {
+        if index < NUM_ARCH_REGS {
+            Some(ArchReg(index as u8))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.class_index()),
+            RegClass::Simd => write!(f, "v{}", self.class_index()),
+            RegClass::Fp => write!(f, "f{}", self.class_index()),
+            RegClass::Flags => write!(f, "flags"),
+        }
+    }
+}
+
+/// A fixed-capacity set of source registers read by one instruction.
+///
+/// Instructions in this ISA read at most four registers (e.g. a store with a
+/// shifted-register offset that also consumes flags). Using a fixed inline
+/// array keeps dependence analysis allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrcSet {
+    regs: [Option<ArchReg>; 4],
+    len: u8,
+}
+
+impl SrcSet {
+    /// An empty source set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a source register. Duplicates are kept (two reads of the same
+    /// register are still a single dependence edge downstream, but keeping
+    /// them simplifies operand-position bookkeeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four sources are added.
+    pub fn push(&mut self, reg: ArchReg) {
+        let i = self.len as usize;
+        assert!(i < 4, "an instruction reads at most 4 registers");
+        self.regs[i] = Some(reg);
+        self.len += 1;
+    }
+
+    /// Number of source registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the source registers.
+    pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.regs.iter().take(self.len as usize).map(|r| r.expect("set invariant"))
+    }
+
+    /// Whether `reg` appears in the set.
+    #[must_use]
+    pub fn contains(&self, reg: ArchReg) -> bool {
+        self.iter().any(|r| r == reg)
+    }
+}
+
+impl FromIterator<ArchReg> for SrcSet {
+    fn from_iter<T: IntoIterator<Item = ArchReg>>(iter: T) -> Self {
+        let mut set = SrcSet::new();
+        for r in iter {
+            set.push(r);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_indices_are_disjoint() {
+        assert_eq!(ArchReg::int(0).index(), 0);
+        assert_eq!(ArchReg::int(31).index(), 31);
+        assert_eq!(ArchReg::simd(0).index(), 32);
+        assert_eq!(ArchReg::simd(15).index(), 47);
+        assert_eq!(ArchReg::fp(0).index(), 48);
+        assert_eq!(ArchReg::fp(15).index(), 63);
+        assert_eq!(ArchReg::flags().index(), 64);
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for i in 0..NUM_ARCH_REGS {
+            let r = ArchReg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+            let rebuilt = match r.class() {
+                RegClass::Int => ArchReg::int(r.class_index()),
+                RegClass::Simd => ArchReg::simd(r.class_index()),
+                RegClass::Fp => ArchReg::fp(r.class_index()),
+                RegClass::Flags => ArchReg::flags(),
+            };
+            assert_eq!(rebuilt, r);
+        }
+        assert_eq!(ArchReg::from_index(NUM_ARCH_REGS), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_bounds_checked() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArchReg::int(5).to_string(), "r5");
+        assert_eq!(ArchReg::simd(2).to_string(), "v2");
+        assert_eq!(ArchReg::fp(9).to_string(), "f9");
+        assert_eq!(ArchReg::flags().to_string(), "flags");
+    }
+
+    #[test]
+    fn srcset_push_iter_contains() {
+        let mut s = SrcSet::new();
+        assert!(s.is_empty());
+        s.push(ArchReg::int(1));
+        s.push(ArchReg::int(2));
+        s.push(ArchReg::flags());
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ArchReg::int(2)));
+        assert!(!s.contains(ArchReg::int(3)));
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![ArchReg::int(1), ArchReg::int(2), ArchReg::flags()]);
+    }
+
+    #[test]
+    fn srcset_from_iterator() {
+        let s: SrcSet = [ArchReg::int(0), ArchReg::int(1)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! Tag-array-only simulation: the cache tracks which lines are present (and
+//! dirty), not their data — data correctness is the functional
+//! interpreter's job in the trace-driven methodology. Latency is assigned
+//! by the [`MemoryHierarchy`](crate::hierarchy::MemoryHierarchy).
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// 64 KiB, 4-way, 64 B lines — the paper's L1 (Table I).
+    #[must_use]
+    pub fn l1_64k() -> Self {
+        CacheConfig { size_bytes: 64 << 10, ways: 4, line_bytes: 64 }
+    }
+
+    /// 2 MiB, 16-way, 64 B lines — the paper's L2 (Table I).
+    #[must_use]
+    pub fn l2_2m() -> Self {
+        CacheConfig { size_bytes: 2 << 20, ways: 16, line_bytes: 64 }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// LRU timestamp: larger = more recently used.
+    lru: u64,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (excluding prefetches).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Prefetch fills issued into this cache.
+    pub prefetch_fills: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate in [0, 1].
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache (tags only) with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets/ways or a
+    /// non-power-of-two line size).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways >= 1, "cache needs at least one way");
+        assert!(config.sets() >= 1, "cache needs at least one set");
+        assert!(config.sets().is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            lines: vec![Line::default(); (config.sets() * config.ways) as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_of(&self, addr: u64) -> u32 {
+        let line = addr / u64::from(self.config.line_bytes);
+        (line % u64::from(self.config.sets())) as u32
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        let line = addr / u64::from(self.config.line_bytes);
+        line / u64::from(self.config.sets())
+    }
+
+    fn set_slice(&mut self, set: u32) -> &mut [Line] {
+        let w = self.config.ways as usize;
+        let base = set as usize * w;
+        &mut self.lines[base..base + w]
+    }
+
+    /// Probe without modifying state: is the line present?
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let w = self.config.ways as usize;
+        let base = set as usize * w;
+        self.lines[base..base + w].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Demand access. Returns `true` on hit. On miss the line is filled
+    /// (allocate-on-miss for both reads and writes); an evicted dirty line
+    /// counts as a writeback.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.stats.accesses += 1;
+        let hit = self.touch(addr, is_write);
+        if !hit {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Fill a line on behalf of a prefetcher (not counted as a demand
+    /// access; no effect if already present except an LRU touch).
+    pub fn prefetch_fill(&mut self, addr: u64) {
+        self.stats.prefetch_fills += 1;
+        let _ = self.touch(addr, false);
+    }
+
+    /// Core lookup/fill: returns hit/miss and updates LRU + contents.
+    fn touch(&mut self, addr: u64, is_write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let mut victim: usize = 0;
+        let mut victim_lru = u64::MAX;
+        {
+            let ways = self.set_slice(set);
+            for (i, l) in ways.iter_mut().enumerate() {
+                if l.valid && l.tag == tag {
+                    l.lru = tick;
+                    l.dirty |= is_write;
+                    return true;
+                }
+                let score = if l.valid { l.lru } else { 0 };
+                if score < victim_lru {
+                    victim_lru = score;
+                    victim = i;
+                }
+            }
+        }
+        // Miss: evict the LRU (or an invalid) way and fill.
+        let evicted_dirty = {
+            let ways = self.set_slice(set);
+            let l = &mut ways[victim];
+            let was_dirty = l.valid && l.dirty;
+            *l = Line { valid: true, dirty: is_write, tag, lru: tick };
+            was_dirty
+        };
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        false
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 16 B lines = 128 B.
+        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::l1_64k();
+        assert_eq!(c.sets(), 256);
+        let c2 = CacheConfig::l2_2m();
+        assert_eq!(c2.sets(), 2048);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x10F, false), "same line");
+        assert!(!c.access(0x110, false), "next line");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets × 16 B = 64 B).
+        let a = 0x000;
+        let b = 0x040;
+        let d = 0x080;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is MRU
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x040, false);
+        c.access(0x080, false); // evicts 0x000 (dirty)
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn prefetch_fills_do_not_count_as_demand() {
+        let mut c = tiny();
+        c.prefetch_fill(0x200);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x200, false), "prefetched line hits");
+        assert_eq!(c.stats().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let c = tiny();
+        assert!(!c.probe(0x123));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        let _ = Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 24 });
+    }
+}

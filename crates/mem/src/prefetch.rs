@@ -1,0 +1,171 @@
+//! PC-indexed stride prefetcher.
+//!
+//! Table I specifies "L1/L2 cache w/ prefetch". This is the classic
+//! reference-prediction-table design: each entry tracks the last address
+//! and stride observed by one load PC with a 2-bit confidence state; once a
+//! stride repeats, the prefetcher issues fills `degree` strides ahead.
+
+/// One training observation's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Initial,
+    Transient,
+    Steady,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    pc_tag: u32,
+    last_addr: u64,
+    stride: i64,
+    state: State,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry { valid: false, pc_tag: 0, last_addr: 0, stride: 0, state: State::Initial }
+    }
+}
+
+/// Prefetcher statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Training observations.
+    pub trains: u64,
+    /// Prefetch addresses emitted.
+    pub issued: u64,
+}
+
+/// A stride prefetcher trained on the demand-load address stream.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    entries: Vec<Entry>,
+    degree: u32,
+    stats: PrefetchStats,
+}
+
+impl StridePrefetcher {
+    /// Create a prefetcher with `entries` table slots (rounded to a power
+    /// of two) issuing `degree` prefetches ahead on steady strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0` or `degree == 0`.
+    #[must_use]
+    pub fn new(entries: usize, degree: u32) -> Self {
+        assert!(entries > 0 && degree > 0);
+        StridePrefetcher {
+            entries: vec![Entry::default(); entries.next_power_of_two()],
+            degree,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// A typical 256-entry, degree-2 configuration.
+    #[must_use]
+    pub fn default_config() -> Self {
+        StridePrefetcher::new(256, 2)
+    }
+
+    /// Train on a demand load and return the prefetch addresses to fill
+    /// (empty unless the entry is in the steady state).
+    pub fn train(&mut self, pc: u32, addr: u64) -> Vec<u64> {
+        self.stats.trains += 1;
+        let mask = self.entries.len() - 1;
+        let slot = (pc as usize >> 2) & mask;
+        let e = &mut self.entries[slot];
+        let mut out = Vec::new();
+        if !e.valid || e.pc_tag != pc {
+            *e = Entry { valid: true, pc_tag: pc, last_addr: addr, stride: 0, state: State::Initial };
+            return out;
+        }
+        let stride = addr as i64 - e.last_addr as i64;
+        match e.state {
+            State::Initial => {
+                e.stride = stride;
+                e.state = State::Transient;
+            }
+            State::Transient | State::Steady => {
+                if stride == e.stride && stride != 0 {
+                    e.state = State::Steady;
+                    for k in 1..=self.degree {
+                        let target = addr as i64 + stride * i64::from(k);
+                        if target >= 0 {
+                            out.push(target as u64);
+                        }
+                    }
+                } else {
+                    e.stride = stride;
+                    e.state = State::Transient;
+                }
+            }
+        }
+        e.last_addr = addr;
+        self.stats.issued += out.len() as u64;
+        out
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stride_prefetches_ahead() {
+        let mut p = StridePrefetcher::new(16, 2);
+        assert!(p.train(0x40, 1000).is_empty()); // allocate
+        assert!(p.train(0x40, 1064).is_empty()); // learn stride 64
+        let pf = p.train(0x40, 1128); // confirm
+        assert_eq!(pf, vec![1192, 1256]);
+        let pf = p.train(0x40, 1192);
+        assert_eq!(pf, vec![1256, 1320]);
+    }
+
+    #[test]
+    fn stride_change_retrains() {
+        let mut p = StridePrefetcher::new(16, 1);
+        p.train(0x40, 1000);
+        p.train(0x40, 1064);
+        assert!(!p.train(0x40, 1128).is_empty());
+        assert!(p.train(0x40, 5000).is_empty(), "broken stride stops prefetching");
+        assert!(p.train(0x40, 5008).is_empty(), "transient again");
+        assert_eq!(p.train(0x40, 5016), vec![5024]);
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = StridePrefetcher::new(16, 2);
+        for _ in 0..5 {
+            assert!(p.train(0x40, 777).is_empty());
+        }
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere() {
+        let mut p = StridePrefetcher::new(16, 1);
+        p.train(0x40, 0);
+        p.train(0x44, 100_000);
+        p.train(0x40, 64);
+        p.train(0x44, 100_008);
+        assert_eq!(p.train(0x40, 128), vec![192]);
+        assert_eq!(p.train(0x44, 100_016), vec![100_024]);
+    }
+
+    #[test]
+    fn stats_track_issue_volume() {
+        let mut p = StridePrefetcher::new(16, 2);
+        p.train(0x40, 0);
+        p.train(0x40, 64);
+        p.train(0x40, 128);
+        let s = p.stats();
+        assert_eq!(s.trains, 3);
+        assert_eq!(s.issued, 2);
+    }
+}

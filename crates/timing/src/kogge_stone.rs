@@ -1,0 +1,86 @@
+//! Kogge–Stone adder critical-path model (paper Fig. 2).
+//!
+//! A Kogge–Stone parallel-prefix adder computes carries in
+//! `ceil(log2(width))` prefix stages between a propagate/generate stage and
+//! a final sum XOR. When only the low `w` bits of the datapath carry live
+//! data (narrow-width operands), the active carry-propagation path shortens
+//! to `ceil(log2(w))` stages — the paper's width slack, "roughly
+//! proportional to log(datawidth_eff)" (§II-A).
+//!
+//! The stage delays below are calibrated so that a full 32-bit add matches
+//! the ~400 ps `ADD` bar of Fig. 1 (TSMC 45 nm, 2 GHz synthesis target).
+
+/// Delay of the propagate/generate preamble (ps).
+pub const PG_DELAY_PS: u32 = 60;
+/// Delay of one prefix-tree stage (ps).
+pub const STAGE_DELAY_PS: u32 = 56;
+/// Delay of the final sum XOR (ps).
+pub const XOR_DELAY_PS: u32 = 60;
+
+/// Number of prefix stages for an effective width of `bits`.
+#[must_use]
+pub fn prefix_stages(bits: u32) -> u32 {
+    debug_assert!((1..=64).contains(&bits), "width {bits} out of range");
+    32 - (bits.max(1) - 1).leading_zeros() // ceil(log2(bits)), 0 for bits=1
+}
+
+/// Critical-path delay of a Kogge–Stone addition whose live operands span
+/// `bits` bits (1..=64).
+///
+/// ```
+/// use redsoc_timing::kogge_stone::adder_delay_ps;
+/// // Narrower computations finish faster, ~log(width).
+/// assert!(adder_delay_ps(8) < adder_delay_ps(16));
+/// assert!(adder_delay_ps(16) < adder_delay_ps(32));
+/// assert_eq!(adder_delay_ps(32), 400);
+/// ```
+#[must_use]
+pub fn adder_delay_ps(bits: u32) -> u32 {
+    PG_DELAY_PS + prefix_stages(bits) * STAGE_DELAY_PS + XOR_DELAY_PS
+}
+
+/// The Fig. 2 data series: critical delay for each effective width of a
+/// 16-bit Kogge–Stone adder (the paper's illustration), generalised to any
+/// `max_bits`.
+#[must_use]
+pub fn delay_series(max_bits: u32) -> Vec<(u32, u32)> {
+    (1..=max_bits).map(|w| (w, adder_delay_ps(w))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts() {
+        assert_eq!(prefix_stages(1), 0);
+        assert_eq!(prefix_stages(2), 1);
+        assert_eq!(prefix_stages(3), 2);
+        assert_eq!(prefix_stages(4), 2);
+        assert_eq!(prefix_stages(8), 3);
+        assert_eq!(prefix_stages(16), 4);
+        assert_eq!(prefix_stages(32), 5);
+        assert_eq!(prefix_stages(64), 6);
+    }
+
+    #[test]
+    fn full_width_add_matches_fig1_calibration() {
+        assert_eq!(adder_delay_ps(32), 60 + 5 * 56 + 60);
+    }
+
+    #[test]
+    fn delay_is_monotone_in_width() {
+        let series = delay_series(64);
+        for pair in series.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "delay must not decrease with width");
+        }
+    }
+
+    #[test]
+    fn log_shape() {
+        // Doubling the width adds exactly one stage delay.
+        for w in [2u32, 4, 8, 16, 32] {
+            assert_eq!(adder_delay_ps(w * 2) - adder_delay_ps(w), STAGE_DELAY_PS);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-operation compute-time model (paper Fig. 1).
+//!
+//! The paper synthesises a single-cycle ARM-style ALU (RTL → Synopsys DC,
+//! TSMC 45 nm standard cells, 2 GHz target) and reports the critical
+//! computation time of each operation. This module encodes those measured
+//! values and extends them along two axes the paper analyses:
+//!
+//! - **shifted second operand**: the barrel shifter in series with the adder
+//!   elongates the path (`ADD-LSR`, `SUB-ROR` in Fig. 1);
+//! - **effective operand width**: arithmetic carry chains shorten
+//!   logarithmically with the live width (Fig. 2, via
+//!   [`kogge_stone`](crate::kogge_stone)).
+
+use redsoc_isa::opcode::{AluOp, SimdOp, SimdType};
+
+use crate::kogge_stone::adder_delay_ps;
+
+/// Clock period at the 2 GHz synthesis target (ps).
+pub const CYCLE_PS: u32 = 500;
+
+/// Extra series delay contributed by an active barrel shifter feeding the
+/// adder (calibrated so `ADD`+shift ≈ the 480–500 ps `ADD-LSR`/`SUB-ROR`
+/// bars of Fig. 1).
+pub const SHIFT_SERIES_PS: u32 = 80;
+
+/// Full-width (32-bit) compute time of a scalar ALU op with an unshifted
+/// second operand, in ps — the Fig. 1 bar heights.
+#[must_use]
+pub fn alu_base_ps(op: AluOp) -> u32 {
+    match op {
+        AluOp::Mov => 100,
+        AluOp::Mvn => 120,
+        AluOp::Rrx => 130,
+        AluOp::And => 150,
+        AluOp::Orr => 150,
+        AluOp::Tst => 150,
+        AluOp::Bic => 155,
+        AluOp::Eor => 160,
+        AluOp::Teq => 160,
+        AluOp::Lsl => 215,
+        AluOp::Lsr => 220,
+        AluOp::Ror => 225,
+        AluOp::Asr => 230,
+        AluOp::Add => 400,
+        AluOp::Cmn => 400,
+        AluOp::Sub => 415,
+        AluOp::Cmp => 415,
+        AluOp::Rsb => 420,
+        AluOp::Adc => 425,
+        AluOp::Sbc => 430,
+        AluOp::Rsc => 435,
+    }
+}
+
+/// Compute time of a scalar ALU operation given its dynamic context.
+///
+/// `uses_shifter` is true when the op is itself a shift or has a shifted
+/// second operand; `eff_bits` is the effective (live) operand width.
+/// Arithmetic ops shorten by one Kogge–Stone stage per halving of width;
+/// logical/move/shift paths have no carry chain and are width-insensitive.
+/// The result never exceeds [`CYCLE_PS`] — the datapath is synthesised to
+/// close timing at one cycle.
+#[must_use]
+pub fn alu_compute_ps(op: AluOp, uses_shifter: bool, eff_bits: u8) -> u32 {
+    let mut t = alu_base_ps(op);
+    if op.is_arith() {
+        let full = adder_delay_ps(32);
+        let narrow = adder_delay_ps(u32::from(eff_bits.clamp(1, 32)));
+        t = t.saturating_sub(full - narrow);
+    }
+    if uses_shifter && !op.is_shift() {
+        t += SHIFT_SERIES_PS;
+    }
+    t.min(CYCLE_PS)
+}
+
+/// Compute time of a single-cycle SIMD ALU operation for the given lane
+/// type. Lane-wise arithmetic carries propagate only within a lane, so the
+/// critical path follows the lane width (type slack, §II-A); lane-wise
+/// logical operations are width-insensitive.
+#[must_use]
+pub fn simd_compute_ps(op: SimdOp, ty: SimdType) -> u32 {
+    debug_assert!(op.is_single_cycle(), "multi-cycle SIMD ops are not single-cycle timed");
+    // SIMD datapath overhead (operand muxing / lane steering) on top of the
+    // per-lane compute.
+    const LANE_OVERHEAD_PS: u32 = 30;
+    let t = match op {
+        SimdOp::Vadd | SimdOp::Vsub => adder_delay_ps(ty.lane_bits()) + LANE_OVERHEAD_PS,
+        SimdOp::Vmax | SimdOp::Vmin => adder_delay_ps(ty.lane_bits()) + LANE_OVERHEAD_PS + 30,
+        SimdOp::Vand | SimdOp::Vorr | SimdOp::Veor => 150 + LANE_OVERHEAD_PS,
+        SimdOp::Vshl | SimdOp::Vshr => 220 + LANE_OVERHEAD_PS,
+        SimdOp::Vdup => 100 + LANE_OVERHEAD_PS,
+        SimdOp::Vmul | SimdOp::Vmla => unreachable!("guarded by debug_assert"),
+    };
+    t.min(CYCLE_PS)
+}
+
+/// The accumulate-stage compute time of a `VMLA` for the given lane type.
+///
+/// Cortex-A57-style multiply-accumulate late-forwards the accumulator into
+/// a final adder stage (§V), so back-to-back accumulation chains behave as
+/// single-cycle dependences with this compute time.
+#[must_use]
+pub fn simd_accumulate_ps(ty: SimdType) -> u32 {
+    (adder_delay_ps(ty.lane_bits()) + 30).min(CYCLE_PS)
+}
+
+/// The Fig. 1 data set: `(label, compute ps)` for every ALU operation plus
+/// the two shifted-operand configurations the paper singles out.
+#[must_use]
+pub fn fig1_series() -> Vec<(&'static str, u32)> {
+    let mut rows: Vec<(&'static str, u32)> = AluOp::ALL
+        .iter()
+        .map(|&op| (op.mnemonic(), alu_compute_ps(op, false, 32)))
+        .collect();
+    rows.push(("ADD-LSR", alu_compute_ps(AluOp::Add, true, 32)));
+    rows.push(("SUB-ROR", alu_compute_ps(AluOp::Sub, true, 32)));
+    rows
+}
+
+/// Latency (cycles) of multi-cycle "true synchronous" operations, modelled
+/// on a Cortex-A57-class core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiCycleLatencies {
+    /// Pipelined integer multiply.
+    pub int_mul: u32,
+    /// Unpipelined integer divide.
+    pub int_div: u32,
+    /// FP add/sub.
+    pub fp_add: u32,
+    /// FP multiply.
+    pub fp_mul: u32,
+    /// FP divide.
+    pub fp_div: u32,
+    /// SIMD multiply / the multiply stage of multiply-accumulate.
+    pub simd_mul: u32,
+}
+
+impl Default for MultiCycleLatencies {
+    fn default() -> Self {
+        MultiCycleLatencies { int_mul: 3, int_div: 12, fp_add: 4, fp_mul: 4, fp_div: 10, simd_mul: 4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_is_much_faster_than_arith() {
+        // The qualitative claim of Fig. 1: logical ops leave >50% slack.
+        for op in [AluOp::And, AluOp::Orr, AluOp::Eor, AluOp::Bic, AluOp::Mov] {
+            assert!(alu_compute_ps(op, false, 32) * 2 < CYCLE_PS + 100);
+            assert!(alu_compute_ps(op, false, 32) < alu_compute_ps(AluOp::Add, false, 32));
+        }
+    }
+
+    #[test]
+    fn shifted_arith_is_critical() {
+        let add_lsr = alu_compute_ps(AluOp::Add, true, 32);
+        let sub_ror = alu_compute_ps(AluOp::Sub, true, 32);
+        assert!(add_lsr >= 480);
+        assert!(sub_ror >= 490);
+        assert!(sub_ror <= CYCLE_PS, "datapath must close timing at one cycle");
+    }
+
+    #[test]
+    fn narrow_arith_is_faster() {
+        use crate::kogge_stone::STAGE_DELAY_PS;
+        let wide = alu_compute_ps(AluOp::Add, false, 32);
+        let w16 = alu_compute_ps(AluOp::Add, false, 16);
+        let w8 = alu_compute_ps(AluOp::Add, false, 8);
+        assert!(w8 < w16 && w16 < wide);
+        assert_eq!(wide - w16, STAGE_DELAY_PS);
+    }
+
+    #[test]
+    fn width_does_not_affect_logic() {
+        assert_eq!(
+            alu_compute_ps(AluOp::And, false, 8),
+            alu_compute_ps(AluOp::And, false, 32)
+        );
+    }
+
+    #[test]
+    fn fig1_has_23_bars() {
+        let s = fig1_series();
+        assert_eq!(s.len(), 23);
+        // MOV is the shortest bar, SUB-ROR the tallest.
+        let min = s.iter().min_by_key(|(_, t)| *t).unwrap();
+        let max = s.iter().max_by_key(|(_, t)| *t).unwrap();
+        assert_eq!(min.0, "MOV");
+        assert_eq!(max.0, "SUB-ROR");
+    }
+
+    #[test]
+    fn simd_type_slack_ordering() {
+        let t8 = simd_compute_ps(SimdOp::Vadd, SimdType::I8);
+        let t16 = simd_compute_ps(SimdOp::Vadd, SimdType::I16);
+        let t32 = simd_compute_ps(SimdOp::Vadd, SimdType::I32);
+        let t64 = simd_compute_ps(SimdOp::Vadd, SimdType::I64);
+        assert!(t8 < t16 && t16 < t32 && t32 < t64);
+        assert!(t64 <= CYCLE_PS);
+    }
+
+    #[test]
+    fn simd_logic_type_insensitive() {
+        assert_eq!(
+            simd_compute_ps(SimdOp::Veor, SimdType::I8),
+            simd_compute_ps(SimdOp::Veor, SimdType::I64)
+        );
+    }
+
+    #[test]
+    fn accumulate_stage_fits_cycle() {
+        for ty in SimdType::ALL {
+            assert!(simd_accumulate_ps(ty) <= CYCLE_PS);
+        }
+    }
+
+    #[test]
+    fn all_ops_fit_in_cycle() {
+        for op in AluOp::ALL {
+            for shift in [false, true] {
+                for bits in [1u8, 8, 16, 24, 32] {
+                    assert!(alu_compute_ps(op, shift, bits) <= CYCLE_PS);
+                }
+            }
+        }
+    }
+}

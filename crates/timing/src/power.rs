@@ -1,0 +1,158 @@
+//! DVFS power model for converting speedup into power savings (§VI-C).
+//!
+//! The paper estimates "power efficiency at baseline performance" by
+//! converting each application's ReDSOC speedup into voltage/frequency
+//! scaling: running the accelerated core at a *lower* frequency that
+//! restores baseline performance, and banking the `C·V²·f` dynamic-power
+//! reduction. Scaling is modelled on the ARM Cortex-A57 (Exynos 5433)
+//! voltage/frequency operating points published by AnandTech (the paper's
+//! ref 34).
+
+/// A (frequency GHz, voltage V) DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPoint {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+}
+
+/// Cortex-A57 (Exynos 5433) operating points, low to high.
+pub const A57_POINTS: [DvfsPoint; 8] = [
+    DvfsPoint { freq_ghz: 0.7, voltage_v: 0.90 },
+    DvfsPoint { freq_ghz: 0.8, voltage_v: 0.925 },
+    DvfsPoint { freq_ghz: 1.0, voltage_v: 0.9625 },
+    DvfsPoint { freq_ghz: 1.2, voltage_v: 1.0 },
+    DvfsPoint { freq_ghz: 1.4, voltage_v: 1.0375 },
+    DvfsPoint { freq_ghz: 1.6, voltage_v: 1.0875 },
+    DvfsPoint { freq_ghz: 1.8, voltage_v: 1.15 },
+    DvfsPoint { freq_ghz: 1.9, voltage_v: 1.2125 },
+];
+
+/// A voltage/frequency curve with linear interpolation between measured
+/// operating points.
+#[derive(Debug, Clone)]
+pub struct DvfsCurve {
+    points: Vec<DvfsPoint>,
+}
+
+impl DvfsCurve {
+    /// Build a curve from operating points sorted by ascending frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or they are not sorted by
+    /// strictly increasing frequency.
+    #[must_use]
+    pub fn new(points: &[DvfsPoint]) -> Self {
+        assert!(points.len() >= 2, "need at least two operating points");
+        for w in points.windows(2) {
+            assert!(w[0].freq_ghz < w[1].freq_ghz, "points must be sorted by frequency");
+        }
+        DvfsCurve { points: points.to_vec() }
+    }
+
+    /// The Cortex-A57 curve used by the paper.
+    #[must_use]
+    pub fn a57() -> Self {
+        DvfsCurve::new(&A57_POINTS)
+    }
+
+    /// Interpolated supply voltage at `freq_ghz` (clamped to the curve's
+    /// frequency range).
+    #[must_use]
+    pub fn voltage_at(&self, freq_ghz: f64) -> f64 {
+        let pts = &self.points;
+        if freq_ghz <= pts[0].freq_ghz {
+            return pts[0].voltage_v;
+        }
+        if freq_ghz >= pts[pts.len() - 1].freq_ghz {
+            return pts[pts.len() - 1].voltage_v;
+        }
+        for w in pts.windows(2) {
+            if freq_ghz <= w[1].freq_ghz {
+                let t = (freq_ghz - w[0].freq_ghz) / (w[1].freq_ghz - w[0].freq_ghz);
+                return w[0].voltage_v + t * (w[1].voltage_v - w[0].voltage_v);
+            }
+        }
+        unreachable!("freq within range is covered by a window");
+    }
+
+    /// Dynamic power at `freq_ghz` relative to `P ∝ V²·f` (arbitrary
+    /// units — only ratios are meaningful).
+    #[must_use]
+    pub fn relative_power(&self, freq_ghz: f64) -> f64 {
+        let v = self.voltage_at(freq_ghz);
+        v * v * freq_ghz
+    }
+
+    /// Fractional dynamic-power saving from converting a `speedup`
+    /// (e.g. `0.23` for 23%) into down-scaling from `base_freq_ghz` to the
+    /// iso-performance frequency `base / (1 + speedup)`.
+    ///
+    /// Returns a value in `[0, 1)`.
+    #[must_use]
+    pub fn power_saving_at_iso_perf(&self, base_freq_ghz: f64, speedup: f64) -> f64 {
+        assert!(speedup >= 0.0, "speedup must be non-negative");
+        let scaled = base_freq_ghz / (1.0 + speedup);
+        let p0 = self.relative_power(base_freq_ghz);
+        let p1 = self.relative_power(scaled);
+        1.0 - p1 / p0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_interpolation_endpoints() {
+        let c = DvfsCurve::a57();
+        assert!((c.voltage_at(0.7) - 0.90).abs() < 1e-9);
+        assert!((c.voltage_at(1.9) - 1.2125).abs() < 1e-9);
+        // Clamped beyond the range.
+        assert!((c.voltage_at(0.1) - 0.90).abs() < 1e-9);
+        assert!((c.voltage_at(3.0) - 1.2125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_is_monotone() {
+        let c = DvfsCurve::a57();
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let f = 0.7 + (1.9 - 0.7) * f64::from(i) / 50.0;
+            let v = c.voltage_at(f);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_speedup_saves_nothing() {
+        let c = DvfsCurve::a57();
+        assert!(c.power_saving_at_iso_perf(1.9, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_savings() {
+        let c = DvfsCurve::a57();
+        // A 23% speedup (MiBench BIG mean) should bank roughly 25–40% power,
+        // consistent with the paper's 12–36% MiBench range.
+        let s = c.power_saving_at_iso_perf(1.9, 0.23);
+        assert!((0.20..=0.45).contains(&s), "saving {s}");
+        // A 5% speedup saves high single digits.
+        let small = c.power_saving_at_iso_perf(1.9, 0.05);
+        assert!((0.04..=0.15).contains(&small), "saving {small}");
+        // More speedup, more savings.
+        assert!(s > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by frequency")]
+    fn unsorted_points_rejected() {
+        let _ = DvfsCurve::new(&[
+            DvfsPoint { freq_ghz: 1.0, voltage_v: 1.0 },
+            DvfsPoint { freq_ghz: 0.5, voltage_v: 0.9 },
+        ]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Sub-cycle time quantisation (paper §IV-C, §V "Slack Tracking Precision").
+//!
+//! ReDSOC tracks Completion Instants (CI) inside the clock cycle with a
+//! small fractional representation — the paper finds **3 bits** (1/8th of a
+//! cycle) sufficient, with performance saturating beyond that. This module
+//! provides the quantiser: absolute simulated time is measured in integer
+//! *ticks*, `2^bits` ticks per clock cycle.
+//!
+//! Quantisation must be **conservative**: estimated compute times round
+//! *up* to the tick grid so a consumer never starts before its producer's
+//! value has stabilised (the mechanism stays timing-non-speculative).
+
+use crate::optime::CYCLE_PS;
+
+/// A sub-cycle time quantiser with `2^bits` ticks per clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quant {
+    bits: u8,
+}
+
+impl Quant {
+    /// The paper's operating point: 3-bit CI (8 ticks per cycle).
+    pub const PAPER: Quant = Quant { bits: 3 };
+
+    /// Create a quantiser with the given CI precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    #[must_use]
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "CI precision must be 1..=8 bits");
+        Quant { bits }
+    }
+
+    /// CI precision in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Ticks per clock cycle (`2^bits`).
+    #[must_use]
+    pub fn ticks_per_cycle(self) -> u64 {
+        1 << self.bits
+    }
+
+    /// Conservatively quantise a compute time to ticks (rounding up, with a
+    /// minimum of one tick so every operation consumes some time).
+    #[must_use]
+    pub fn ps_to_ticks_ceil(self, ps: u32) -> u64 {
+        let tpc = self.ticks_per_cycle();
+        (u64::from(ps) * tpc).div_ceil(u64::from(CYCLE_PS)).max(1)
+    }
+
+    /// Absolute tick of the start of `cycle`.
+    #[must_use]
+    pub fn cycle_start(self, cycle: u64) -> u64 {
+        cycle * self.ticks_per_cycle()
+    }
+
+    /// The cycle containing the absolute tick `t` (a tick exactly on a
+    /// boundary belongs to the cycle it starts).
+    #[must_use]
+    pub fn cycle_of(self, t: u64) -> u64 {
+        t >> self.bits
+    }
+
+    /// Sub-cycle fraction of an absolute tick, in ticks (`0..2^bits`) — the
+    /// Completion Instant field broadcast on the CI bus.
+    #[must_use]
+    pub fn ci_of(self, t: u64) -> u64 {
+        t & (self.ticks_per_cycle() - 1)
+    }
+
+    /// Round an absolute tick up to the next cycle boundary (identity if
+    /// already on one). This is where a "true synchronous" consumer clocks.
+    #[must_use]
+    pub fn ceil_to_cycle(self, t: u64) -> u64 {
+        let tpc = self.ticks_per_cycle();
+        t.div_ceil(tpc) * tpc
+    }
+
+    /// Convert ticks back to picoseconds (for reporting).
+    #[must_use]
+    pub fn ticks_to_ps(self, ticks: u64) -> u64 {
+        ticks * u64::from(CYCLE_PS) / self.ticks_per_cycle()
+    }
+}
+
+impl Default for Quant {
+    fn default() -> Self {
+        Quant::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quant_has_8_ticks() {
+        assert_eq!(Quant::PAPER.ticks_per_cycle(), 8);
+        assert_eq!(Quant::PAPER.bits(), 3);
+    }
+
+    #[test]
+    fn quantisation_rounds_up() {
+        let q = Quant::PAPER; // 62.5 ps per tick
+        assert_eq!(q.ps_to_ticks_ceil(1), 1);
+        assert_eq!(q.ps_to_ticks_ceil(62), 1);
+        assert_eq!(q.ps_to_ticks_ceil(63), 2);
+        assert_eq!(q.ps_to_ticks_ceil(125), 2);
+        assert_eq!(q.ps_to_ticks_ceil(126), 3);
+        assert_eq!(q.ps_to_ticks_ceil(500), 8);
+    }
+
+    #[test]
+    fn quantised_time_never_underestimates() {
+        for bits in 1..=8u8 {
+            let q = Quant::new(bits);
+            for ps in (1..=500u32).step_by(7) {
+                let ticks = q.ps_to_ticks_ceil(ps);
+                assert!(q.ticks_to_ps(ticks) >= u64::from(ps), "bits={bits} ps={ps}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let q = Quant::PAPER;
+        assert_eq!(q.cycle_start(3), 24);
+        assert_eq!(q.cycle_of(24), 3);
+        assert_eq!(q.cycle_of(23), 2);
+        assert_eq!(q.ci_of(27), 3);
+        assert_eq!(q.ceil_to_cycle(24), 24);
+        assert_eq!(q.ceil_to_cycle(25), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn bits_out_of_range_rejected() {
+        let _ = Quant::new(9);
+    }
+
+    #[test]
+    fn one_bit_precision_is_half_cycles() {
+        let q = Quant::new(1);
+        assert_eq!(q.ticks_per_cycle(), 2);
+        assert_eq!(q.ps_to_ticks_ceil(250), 1);
+        assert_eq!(q.ps_to_ticks_ceil(251), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! # redsoc-workloads — the paper's benchmark suite
+//!
+//! The sixteen workloads of the ReDSOC evaluation (§V), in three classes:
+//!
+//! - **SPEC-like** (`xalanc`, `bzip2`, `omnetpp`, `gromacs`, `soplex`):
+//!   synthetic trace generators calibrated to the Fig. 10 operation mixes
+//!   (see [`spec`] for the substitution rationale);
+//! - **MiBench-like** (`corners`, `strsearch`, `gsm`, `crc`, `bitcnt`):
+//!   real kernels written in the micro-ISA, functionally verified;
+//! - **ML** (`act`, `pool0`, `conv`, `pool1`, `softmax`): the ARM Compute
+//!   Library kernels of Table II, with NEON-style `i16×4` SIMD.
+//!
+//! All workloads are deterministic, so simulations are reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use redsoc_workloads::{Benchmark, BenchClass};
+//!
+//! let trace = Benchmark::Bitcnt.trace(10_000);
+//! assert!(trace.len() >= 10_000);
+//! assert_eq!(Benchmark::Bitcnt.class(), BenchClass::MiBench);
+//! assert_eq!(Benchmark::all().len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod extended;
+pub mod mibench;
+pub mod ml;
+pub mod spec;
+
+use redsoc_isa::interp::Interpreter;
+use redsoc_isa::program::Program;
+use redsoc_isa::trace::DynOp;
+
+use spec::SpecProfile;
+
+/// Benchmark class (the grouping of Figs. 11–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchClass {
+    /// SPEC CPU2006-like workloads.
+    Spec,
+    /// MiBench-like embedded kernels.
+    MiBench,
+    /// Machine-learning kernels (Table II).
+    Ml,
+}
+
+impl BenchClass {
+    /// Display label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchClass::Spec => "SPEC",
+            BenchClass::MiBench => "MiBench",
+            BenchClass::Ml => "ML",
+        }
+    }
+}
+
+/// The sixteen benchmarks of the evaluation, in Fig. 10 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// SPEC xalancbmk-like.
+    Xalanc,
+    /// SPEC bzip2-like.
+    Bzip2,
+    /// SPEC omnetpp-like.
+    Omnetpp,
+    /// SPEC gromacs-like.
+    Gromacs,
+    /// SPEC soplex-like.
+    Soplex,
+    /// MiBench susan-corners-like.
+    Corners,
+    /// MiBench stringsearch.
+    Strsearch,
+    /// MiBench GSM long-term predictor.
+    Gsm,
+    /// MiBench CRC-32.
+    Crc,
+    /// MiBench bitcount.
+    Bitcnt,
+    /// ML ReLU activation.
+    Act,
+    /// ML 2×2 max pooling.
+    Pool0,
+    /// ML 3×3 Gaussian convolution.
+    Conv,
+    /// ML 2×2 average pooling.
+    Pool1,
+    /// ML softmax.
+    Softmax,
+    /// ML multiply-accumulate chain (bonus: exercises VMLA late
+    /// forwarding; not part of the paper's table but used in tests).
+    MlMac,
+}
+
+impl Benchmark {
+    /// The paper's sixteen evaluation benchmarks, in Fig. 10 order
+    /// (excluding the bonus [`Benchmark::MlMac`]).
+    #[must_use]
+    pub fn all() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![
+            Xalanc, Bzip2, Omnetpp, Gromacs, Soplex, Corners, Strsearch, Gsm, Crc, Bitcnt, Act,
+            Pool0, Conv, Pool1, Softmax, MlMac,
+        ]
+    }
+
+    /// The benchmarks shown in the paper's figures (15 of them).
+    #[must_use]
+    pub fn paper_set() -> Vec<Benchmark> {
+        Benchmark::all().into_iter().filter(|b| *b != Benchmark::MlMac).collect()
+    }
+
+    /// Benchmarks of one class, in figure order.
+    #[must_use]
+    pub fn of_class(class: BenchClass) -> Vec<Benchmark> {
+        Benchmark::paper_set().into_iter().filter(|b| b.class() == class).collect()
+    }
+
+    /// Fig. 10 label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Xalanc => "xalanc",
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::Gromacs => "gromacs",
+            Benchmark::Soplex => "soplex",
+            Benchmark::Corners => "corners",
+            Benchmark::Strsearch => "strsearch",
+            Benchmark::Gsm => "gsm",
+            Benchmark::Crc => "crc",
+            Benchmark::Bitcnt => "bitcnt",
+            Benchmark::Act => "ACT",
+            Benchmark::Pool0 => "POOL0",
+            Benchmark::Conv => "CONV",
+            Benchmark::Pool1 => "POOL1",
+            Benchmark::Softmax => "SOFTMAX",
+            Benchmark::MlMac => "MLMAC",
+        }
+    }
+
+    /// Which class the benchmark belongs to.
+    #[must_use]
+    pub fn class(self) -> BenchClass {
+        use Benchmark::*;
+        match self {
+            Xalanc | Bzip2 | Omnetpp | Gromacs | Soplex => BenchClass::Spec,
+            Corners | Strsearch | Gsm | Crc | Bitcnt => BenchClass::MiBench,
+            Act | Pool0 | Conv | Pool1 | Softmax | MlMac => BenchClass::Ml,
+        }
+    }
+
+    /// Generate a dynamic trace of at least `approx_len` instructions
+    /// (kernels round up to whole outer iterations; synthetic traces are
+    /// exact). Always ends with `HALT`.
+    #[must_use]
+    pub fn trace(self, approx_len: u64) -> Vec<DynOp> {
+        match self {
+            Benchmark::Xalanc => spec_collect(&SpecProfile::xalanc(), approx_len, 11),
+            Benchmark::Bzip2 => spec_collect(&SpecProfile::bzip2(), approx_len, 12),
+            Benchmark::Omnetpp => spec_collect(&SpecProfile::omnetpp(), approx_len, 13),
+            Benchmark::Gromacs => spec_collect(&SpecProfile::gromacs(), approx_len, 14),
+            Benchmark::Soplex => spec_collect(&SpecProfile::soplex(), approx_len, 15),
+            Benchmark::Corners => kernel_trace(mibench::corners, approx_len),
+            Benchmark::Strsearch => kernel_trace(mibench::strsearch, approx_len),
+            Benchmark::Gsm => kernel_trace(mibench::gsm_ltp, approx_len),
+            Benchmark::Crc => kernel_trace(mibench::crc32, approx_len),
+            Benchmark::Bitcnt => kernel_trace(mibench::bitcount, approx_len),
+            Benchmark::Act => kernel_trace(ml::relu, approx_len),
+            Benchmark::Pool0 => kernel_trace(ml::pool_max, approx_len),
+            Benchmark::Conv => kernel_trace(ml::conv3x3, approx_len),
+            Benchmark::Pool1 => kernel_trace(ml::pool_avg, approx_len),
+            Benchmark::Softmax => kernel_trace(ml::softmax, approx_len),
+            Benchmark::MlMac => kernel_trace(ml_mac, approx_len),
+        }
+    }
+}
+
+fn spec_collect(profile: &SpecProfile, len: u64, seed: u64) -> Vec<DynOp> {
+    spec::spec_trace(profile, len, seed).collect()
+}
+
+/// Run one outer iteration to measure the kernel's dynamic length, then
+/// rebuild with enough iterations to cover `approx_len`.
+fn kernel_trace(build: fn(u32) -> Program, approx_len: u64) -> Vec<DynOp> {
+    let probe = build(1);
+    let per_iter = Interpreter::new(&probe).count() as u64;
+    debug_assert!(per_iter > 0, "kernels execute at least one instruction");
+    let iters = approx_len.div_ceil(per_iter.max(1)).max(1);
+    let program = build(iters.min(u64::from(u32::MAX)) as u32);
+    Interpreter::new(&program).collect()
+}
+
+/// Bonus kernel: a VMLA accumulation chain (dot-product style), the
+/// late-forwarding pattern §V describes for NEON multiply-accumulate.
+fn ml_mac(outer_iters: u32) -> Program {
+    use redsoc_isa::opcode::{SimdOp, SimdType};
+    use redsoc_isa::program::{op_imm, r, v, ProgramBuilder};
+    const N: u32 = 512;
+    let mut b = ProgramBuilder::new();
+    let bytes: Vec<u8> = (0..N * 2).map(|i| (i % 251) as u8).collect();
+    let a_addr = b.alloc_data(&bytes);
+    let c_addr = b.alloc_data(&bytes);
+
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+    b.mov_imm(r(0), a_addr);
+    b.mov_imm(r(1), c_addr);
+    b.mov_imm(r(2), N / 4);
+    b.vdup(SimdType::I16, v(2), 0); // accumulator
+    let top = b.here();
+    b.vldr(v(0), r(0), 0);
+    b.vldr(v(1), r(1), 0);
+    b.simd(SimdOp::Vmla, SimdType::I16, v(2), v(0), v(1));
+    b.add(r(0), r(0), op_imm(8));
+    b.add(r(1), r(1), op_imm(8));
+    b.subs(r(2), r(2), op_imm(1));
+    b.bne(top);
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("ml_mac is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsoc_isa::instruction::Instr;
+
+    #[test]
+    fn every_benchmark_produces_a_halting_trace() {
+        for bench in Benchmark::all() {
+            let t = bench.trace(20_000);
+            assert!(
+                t.len() as u64 >= 20_000,
+                "{} trace too short: {}",
+                bench.name(),
+                t.len()
+            );
+            assert!(
+                matches!(t.last().unwrap().instr, Instr::Halt),
+                "{} must end with HALT",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_paper_set() {
+        assert_eq!(Benchmark::of_class(BenchClass::Spec).len(), 5);
+        assert_eq!(Benchmark::of_class(BenchClass::MiBench).len(), 5);
+        assert_eq!(Benchmark::of_class(BenchClass::Ml).len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Benchmark::all().len());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = Benchmark::Crc.trace(5_000);
+        let b = Benchmark::Crc.trace(5_000);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[100], b[100]);
+    }
+}

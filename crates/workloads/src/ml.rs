@@ -1,0 +1,425 @@
+//! Machine-learning kernels (paper Table II), modelled on the ARM Compute
+//! Library's NEON paths.
+//!
+//! | kernel    | description                      |
+//! |-----------|----------------------------------|
+//! | `CONV`    | 3×3 Gaussian convolution         |
+//! | `ACT`     | ReLU activation                  |
+//! | `POOL0`   | 2×2 max pooling                  |
+//! | `POOL1`   | 2×2 average pooling              |
+//! | `SOFTMAX` | softmax over a logits vector     |
+//!
+//! Feature maps hold 16-bit fixed-point values (the limited-precision
+//! arithmetic the paper's introduction motivates); the SIMD kernels use
+//! `i16×4` lanes, the main source of *type slack*.
+
+use redsoc_isa::opcode::{FpOp, SimdOp, SimdType};
+use redsoc_isa::program::{f, op_imm, op_reg, r, v, Program, ProgramBuilder};
+
+/// Feature-map width (in elements) used by the image kernels. The map
+/// (W×H×2 bytes ≈ 130 kB) exceeds the 64 kB L1 like real inference
+/// feature maps, so the kernels stream from the prefetched L2.
+pub const IMG_W: u32 = 362;
+/// Feature-map height.
+pub const IMG_H: u32 = 180;
+
+fn alloc_image(b: &mut ProgramBuilder, w: u32, h: u32, seed: u32) -> u32 {
+    // Deterministic pseudo-random i16 pixels (positive and negative).
+    let mut x = seed | 1;
+    let bytes: Vec<u8> = (0..w * h)
+        .flat_map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            ((x & 0x3FF) as i16 - 0x200).to_le_bytes()
+        })
+        .collect();
+    b.alloc_data(&bytes)
+}
+
+/// 3×3 Gaussian convolution (weights 1-2-1 / 2-4-2 / 1-2-1, ÷16) over an
+/// `i16` feature map, vectorised 4 pixels at a time with a `VMLA`
+/// accumulation chain — the ARM Compute Library NEON structure, whose
+/// accumulate operand is late-forwarded (§V).
+#[must_use]
+pub fn conv3x3(outer_iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let src = alloc_image(&mut b, IMG_W, IMG_H, 0xC0FFEE);
+    let dst = b.alloc_zeroed(IMG_W * IMG_H * 2);
+    let row_bytes = IMG_W * 2;
+
+    // Weight vectors (i16 lanes): v13 = 1, v14 = 2, v15 = 4.
+    b.vdup(SimdType::I16, v(13), 1);
+    b.vdup(SimdType::I16, v(14), 2);
+    b.vdup(SimdType::I16, v(15), 4);
+
+    // r10 = outer counter
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+    // r0 = y (1..H-1)
+    b.mov_imm(r(0), 1);
+    let yloop = b.here();
+    // r1 = x (1..W-1, step 4)
+    b.mov_imm(r(1), 1);
+    let xloop = b.here();
+    // r2 = &src[y][x] = src + (y*W + x)*2 ; r3 = &dst likewise
+    b.mov_imm(r(4), IMG_W);
+    b.mul(r(2), r(0), r(4)); // y*W
+    b.add(r(2), r(2), op_reg(r(1)));
+    b.lsl(r(2), r(2), op_imm(1));
+    b.add(r(3), r(2), op_imm(dst));
+    b.add(r(2), r(2), op_imm(src));
+
+    // Accumulate the 3×3 window into v7 (i16×4) with a 9-deep VMLA chain.
+    b.vdup(SimdType::I16, v(7), 0);
+    for (dy, weights) in [(-1i32, [13u8, 14, 13]), (0, [14, 15, 14]), (1, [13, 14, 13])] {
+        let row_off = dy * row_bytes as i32;
+        for (dx, &wreg) in [-1i32, 0, 1].iter().zip(weights.iter()) {
+            let off = row_off + dx * 2;
+            b.vldr(v(0), r(2), off);
+            b.simd(SimdOp::Vmla, SimdType::I16, v(7), v(0), v(wreg));
+        }
+    }
+    b.simd_shift(SimdOp::Vshr, SimdType::I16, v(7), v(7), 4); // ÷16
+    b.vstr(v(7), r(3), 0);
+
+    b.add(r(1), r(1), op_imm(4));
+    b.cmp(r(1), op_imm(IMG_W - 4));
+    b.blt(xloop);
+    b.add(r(0), r(0), op_imm(1));
+    b.cmp(r(0), op_imm(IMG_H - 1));
+    b.blt(yloop);
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("conv3x3 is well-formed")
+}
+
+/// ReLU activation: `out = max(x, 0)` with `VMAX.i16`, 4 elements per
+/// iteration — the memory-bound streaming kernel (ACT in Table II).
+#[must_use]
+pub fn relu(outer_iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n = IMG_W * IMG_H;
+    let src = alloc_image(&mut b, IMG_W, IMG_H, 0xAC71);
+    let dst = b.alloc_zeroed(n * 2);
+
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+    b.mov_imm(r(0), src);
+    b.mov_imm(r(1), dst);
+    b.mov_imm(r(2), n / 4);
+    b.vdup(SimdType::I16, v(1), 0); // zero vector
+    let top = b.here();
+    b.vldr(v(0), r(0), 0);
+    b.simd(SimdOp::Vmax, SimdType::I16, v(0), v(0), v(1));
+    b.vstr(v(0), r(1), 0);
+    b.add(r(0), r(0), op_imm(8));
+    b.add(r(1), r(1), op_imm(8));
+    b.subs(r(2), r(2), op_imm(1));
+    b.bne(top);
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("relu is well-formed")
+}
+
+/// Emit branchless `max(rd, ra, rb)` using the sign-mask idiom:
+/// `d = a-b; m = d>>31; rd = b + (d & ~m)` — the ALU-rich scalar pattern
+/// pooling compiles to without conditional moves.
+fn emit_max(b: &mut ProgramBuilder, rd: u8, ra: u8, rb: u8, t0: u8, t1: u8) {
+    b.sub(r(t0), r(ra), op_reg(r(rb)));
+    b.asr(r(t1), r(t0), op_imm(31));
+    b.bic(r(t0), r(t0), op_reg(r(t1)));
+    b.add(r(rd), r(rb), op_reg(r(t0)));
+}
+
+/// 2×2 max pooling (POOL0): stride-2 window maximum over an `i16` map,
+/// scalar with branchless maxes.
+#[must_use]
+pub fn pool_max(outer_iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let src = alloc_image(&mut b, IMG_W, IMG_H, 0x9001);
+    let dst = b.alloc_zeroed(IMG_W / 2 * IMG_H / 2 * 2);
+    let row = IMG_W * 2;
+
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+    b.mov_imm(r(0), 0); // y
+    b.mov_imm(r(9), 0); // output index
+    let yloop = b.here();
+    b.mov_imm(r(1), 0); // x
+    let xloop = b.here();
+    b.mov_imm(r(4), IMG_W);
+    b.mul(r(2), r(0), r(4));
+    b.add(r(2), r(2), op_reg(r(1)));
+    b.lsl(r(2), r(2), op_imm(1));
+    b.add(r(2), r(2), op_imm(src));
+    b.ldrh(r(5), r(2), 0);
+    b.ldrh(r(6), r(2), 2);
+    b.ldrh(r(7), r(2), row as i32);
+    b.ldrh(r(8), r(2), row as i32 + 2);
+    // Sign-extend the zero-extended halfword loads (lsl 16 ; asr 16).
+    for reg in [5u8, 6, 7, 8] {
+        b.lsl(r(reg), r(reg), op_imm(16));
+        b.asr(r(reg), r(reg), op_imm(16));
+    }
+    emit_max(&mut b, 5, 5, 6, 11, 12);
+    emit_max(&mut b, 7, 7, 8, 11, 12);
+    emit_max(&mut b, 5, 5, 7, 11, 12);
+    b.lsl(r(6), r(9), op_imm(1));
+    b.add(r(6), r(6), op_imm(dst));
+    b.strh(r(5), r(6), 0);
+    b.add(r(9), r(9), op_imm(1));
+    b.add(r(1), r(1), op_imm(2));
+    b.cmp(r(1), op_imm(IMG_W));
+    b.blt(xloop);
+    b.add(r(0), r(0), op_imm(2));
+    b.cmp(r(0), op_imm(IMG_H));
+    b.blt(yloop);
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("pool_max is well-formed")
+}
+
+/// 2×2 average pooling (POOL1): SIMD adds of two rows, then scalar
+/// horizontal pair-sum and shift.
+#[must_use]
+pub fn pool_avg(outer_iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let src = alloc_image(&mut b, IMG_W, IMG_H, 0x0A76);
+    let dst = b.alloc_zeroed(IMG_W / 2 * IMG_H / 2 * 2);
+    let row = IMG_W * 2;
+
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+    b.mov_imm(r(0), 0); // y
+    b.mov_imm(r(9), 0); // out index
+    let yloop = b.here();
+    b.mov_imm(r(1), 0); // x
+    let xloop = b.here();
+    b.mov_imm(r(4), IMG_W);
+    b.mul(r(2), r(0), r(4));
+    b.add(r(2), r(2), op_reg(r(1)));
+    b.lsl(r(2), r(2), op_imm(1));
+    b.add(r(2), r(2), op_imm(src));
+    // Vertical SIMD add of 4 lanes (covers two 2×2 windows).
+    b.vldr(v(0), r(2), 0);
+    b.vldr(v(1), r(2), row as i32);
+    b.simd(SimdOp::Vadd, SimdType::I16, v(0), v(0), v(1));
+    b.vstr(v(0), r(2), 0); // scratch in place, reload scalars
+    b.ldrh(r(5), r(2), 0);
+    b.ldrh(r(6), r(2), 2);
+    b.ldrh(r(7), r(2), 4);
+    b.ldrh(r(8), r(2), 6);
+    b.add(r(5), r(5), op_reg(r(6)));
+    b.lsr(r(5), r(5), op_imm(2));
+    b.add(r(7), r(7), op_reg(r(8)));
+    b.lsr(r(7), r(7), op_imm(2));
+    b.lsl(r(6), r(9), op_imm(1));
+    b.add(r(6), r(6), op_imm(dst));
+    b.strh(r(5), r(6), 0);
+    b.strh(r(7), r(6), 2);
+    b.add(r(9), r(9), op_imm(2));
+    b.add(r(1), r(1), op_imm(4));
+    b.cmp(r(1), op_imm(IMG_W));
+    b.blt(xloop);
+    b.add(r(0), r(0), op_imm(2));
+    b.cmp(r(0), op_imm(IMG_H));
+    b.blt(yloop);
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("pool_avg is well-formed")
+}
+
+/// Number of logits the softmax kernel processes.
+pub const SOFTMAX_N: u32 = 64;
+
+/// Softmax over a logits vector: max-reduce, `exp(x - max)` via a 4-term
+/// polynomial (FP multiply/add chains), sum-reduce, divide — the
+/// FP-and-memory-heavy profile of Table II's SOFTMAX.
+#[must_use]
+pub fn softmax(outer_iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    // Logits as small integers; converted to FP in-kernel.
+    let logits: Vec<u32> = (0..SOFTMAX_N).map(|i| (i * 7) % 23).collect();
+    let src = b.alloc_words(&logits);
+    let dst = b.alloc_zeroed(SOFTMAX_N * 4);
+
+    b.mov_imm(r(10), outer_iters);
+    let outer = b.here();
+
+    // Pass 1: integer max-reduce (branchless).
+    b.mov_imm(r(0), src);
+    b.mov_imm(r(1), SOFTMAX_N);
+    b.mov_imm(r(2), 0); // max
+    let maxloop = b.here();
+    b.ldr(r(3), r(0), 0);
+    emit_max(&mut b, 2, 2, 3, 11, 12);
+    b.add(r(0), r(0), op_imm(4));
+    b.subs(r(1), r(1), op_imm(1));
+    b.bne(maxloop);
+
+    // Pass 2: exp(x - max) ≈ 1 + t + t²/2 + t³/6 (t ≤ 0), sum-reduce.
+    // f0 = max, f1 = 1.0, f2 = 0.5, f3 = 1/6, f15 = running sum.
+    b.fp1(FpOp::Fcvt, f(0), r(2));
+    b.mov_imm(r(4), 1);
+    b.fp1(FpOp::Fcvt, f(1), r(4));
+    b.mov_imm(r(4), 2);
+    b.fp1(FpOp::Fcvt, f(4), r(4));
+    b.fp(FpOp::Fdiv, f(2), f(1), f(4)); // 0.5
+    b.mov_imm(r(4), 6);
+    b.fp1(FpOp::Fcvt, f(4), r(4));
+    b.fp(FpOp::Fdiv, f(3), f(1), f(4)); // 1/6
+    b.mov_imm(r(4), 0);
+    b.fp1(FpOp::Fcvt, f(15), r(4)); // sum = 0
+    b.mov_imm(r(0), src);
+    b.mov_imm(r(5), dst);
+    b.mov_imm(r(1), SOFTMAX_N);
+    let exploop = b.here();
+    b.ldr(r(3), r(0), 0);
+    b.fp1(FpOp::Fcvt, f(5), r(3));
+    b.fp(FpOp::Fsub, f(5), f(5), f(0)); // t = x - max ≤ 0
+    // Horner: e = 1 + t(1 + t(0.5 + t/6))
+    b.fp(FpOp::Fmul, f(6), f(5), f(3));
+    b.fp(FpOp::Fadd, f(6), f(6), f(2));
+    b.fp(FpOp::Fmul, f(6), f(6), f(5));
+    b.fp(FpOp::Fadd, f(6), f(6), f(1));
+    b.fp(FpOp::Fmul, f(6), f(6), f(5));
+    b.fp(FpOp::Fadd, f(6), f(6), f(1));
+    b.fp(FpOp::Fadd, f(15), f(15), f(6));
+    b.str_(r(3), r(5), 0); // stash numerator term (fixed-point stand-in)
+    b.add(r(0), r(0), op_imm(4));
+    b.add(r(5), r(5), op_imm(4));
+    b.subs(r(1), r(1), op_imm(1));
+    b.bne(exploop);
+
+    // Pass 3: normalise (divide each stored term by the sum).
+    b.mov_imm(r(5), dst);
+    b.mov_imm(r(1), SOFTMAX_N);
+    let divloop = b.here();
+    b.ldr(r(3), r(5), 0);
+    b.fp1(FpOp::Fcvt, f(6), r(3));
+    b.fp(FpOp::Fdiv, f(6), f(6), f(15));
+    b.fp1(FpOp::Ftoi, r(3), f(6));
+    b.str_(r(3), r(5), 0);
+    b.add(r(5), r(5), op_imm(4));
+    b.subs(r(1), r(1), op_imm(1));
+    b.bne(divloop);
+
+    b.subs(r(10), r(10), op_imm(1));
+    b.bne(outer);
+    b.halt();
+    b.build().expect("softmax is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsoc_isa::instruction::Instr;
+    use redsoc_isa::interp::Interpreter;
+    use redsoc_isa::opcode::ExecClass;
+
+    fn run_and_count(p: &Program) -> (u64, u64, u64) {
+        let mut simd = 0u64;
+        let mut mem = 0u64;
+        let mut total = 0u64;
+        for op in Interpreter::new(p).take(5_000_000) {
+            total += 1;
+            match op.instr.exec_class() {
+                ExecClass::SimdAlu | ExecClass::SimdMul => simd += 1,
+                ExecClass::Load | ExecClass::Store => mem += 1,
+                _ => {}
+            }
+            if matches!(op.instr, Instr::Halt) {
+                return (total, simd, mem);
+            }
+        }
+        panic!("kernel did not halt");
+    }
+
+    #[test]
+    fn conv_halts_and_is_simd_heavy() {
+        let p = conv3x3(1);
+        let (total, simd, mem) = run_and_count(&p);
+        assert!(total > 5_000, "conv should do real work: {total}");
+        assert!(simd * 4 > total, "conv should be >25% SIMD: {simd}/{total}");
+        assert!(mem > 0);
+    }
+
+    #[test]
+    fn relu_halts_and_streams_memory() {
+        let p = relu(2);
+        let (total, simd, mem) = run_and_count(&p);
+        assert!(mem * 4 > total, "ReLU is memory-streaming: {mem}/{total}");
+        assert!(simd > 0);
+    }
+
+    #[test]
+    fn relu_is_functionally_correct() {
+        let p = relu(1);
+        let mut i = Interpreter::new(&p);
+        while i.step().is_some() {}
+        assert!(i.is_halted());
+        // Output region: every i16 is non-negative, and matches max(src,0).
+        let n = IMG_W * IMG_H;
+        let src_base = 0x1000u32; // first allocation
+        let dst_base = src_base + n * 2;
+        for k in 0..n {
+            let s = i.mem(src_base + k * 2, 2);
+            let sv = i16::from_le_bytes([s[0], s[1]]);
+            let d = i.mem(dst_base + k * 2, 2);
+            let dv = i16::from_le_bytes([d[0], d[1]]);
+            assert_eq!(dv, sv.max(0), "element {k}");
+        }
+    }
+
+    #[test]
+    fn pools_halt() {
+        let (t0, _, _) = run_and_count(&pool_max(1));
+        let (t1, _, _) = run_and_count(&pool_avg(1));
+        assert!(t0 > 5_000 && t1 > 2_000, "{t0} {t1}");
+    }
+
+    #[test]
+    fn pool_max_is_functionally_correct() {
+        let p = pool_max(1);
+        let mut i = Interpreter::new(&p);
+        while i.step().is_some() {}
+        let src_base = 0x1000u32;
+        let dst_base = src_base + IMG_W * IMG_H * 2;
+        let get_src = |x: u32, y: u32, it: &Interpreter<'_>| -> i16 {
+            let b = it.mem(src_base + (y * IMG_W + x) * 2, 2);
+            i16::from_le_bytes([b[0], b[1]])
+        };
+        let mut out_idx = 0u32;
+        for y in (0..IMG_H).step_by(2) {
+            for x in (0..IMG_W).step_by(2) {
+                let expect = get_src(x, y, &i)
+                    .max(get_src(x + 1, y, &i))
+                    .max(get_src(x, y + 1, &i))
+                    .max(get_src(x + 1, y + 1, &i));
+                let d = i.mem(dst_base + out_idx * 2, 2);
+                let got = i16::from_le_bytes([d[0], d[1]]);
+                assert_eq!(got, expect, "window ({x},{y})");
+                out_idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_halts_with_fp_work() {
+        let p = softmax(1);
+        let mut fp = 0u64;
+        let mut total = 0u64;
+        for op in Interpreter::new(&p).take(1_000_000) {
+            total += 1;
+            if op.instr.exec_class() == ExecClass::Fp {
+                fp += 1;
+            }
+        }
+        assert!(fp * 4 > total, "softmax is FP-heavy: {fp}/{total}");
+    }
+}

@@ -1,0 +1,45 @@
+//! ML inference pipeline: run the five Table II kernels (CONV → ACT →
+//! POOL0 → POOL1 → SOFTMAX) across all three Table I cores and report the
+//! ReDSOC speedups — a miniature of the paper's ML evaluation.
+//!
+//! ```sh
+//! cargo run --release --example ml_inference
+//! ```
+
+use redsoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels = [
+        Benchmark::Conv,
+        Benchmark::Act,
+        Benchmark::Pool0,
+        Benchmark::Pool1,
+        Benchmark::Softmax,
+    ];
+    let cores = [
+        ("BIG", CoreConfig::big()),
+        ("MEDIUM", CoreConfig::medium()),
+        ("SMALL", CoreConfig::small()),
+    ];
+
+    println!("{:<10} {:>8} {:>10} {:>10} {:>9}", "kernel", "core", "base IPC", "rd IPC", "speedup");
+    for kernel in kernels {
+        let trace = kernel.trace(60_000);
+        for (name, core) in &cores {
+            let base = simulate(trace.iter().copied(), core.clone())?;
+            let red = simulate(
+                trace.iter().copied(),
+                core.clone().with_sched(SchedulerConfig::redsoc()),
+            )?;
+            println!(
+                "{:<10} {:>8} {:>10.2} {:>10.2} {:>8.1}%",
+                kernel.name(),
+                name,
+                base.ipc(),
+                red.ipc(),
+                (red.speedup_over(&base) - 1.0) * 100.0
+            );
+        }
+    }
+    Ok(())
+}

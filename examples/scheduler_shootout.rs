@@ -1,0 +1,61 @@
+//! Scheduler shoot-out: Baseline vs ReDSOC vs TS vs MOS on one benchmark
+//! (§VI-D's comparison, per benchmark instead of per class).
+//!
+//! ```sh
+//! cargo run --release --example scheduler_shootout -- crc
+//! cargo run --release --example scheduler_shootout -- bzip2
+//! ```
+
+use redsoc::core::ts::run_ts;
+use redsoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crc".to_string());
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .ok_or_else(|| {
+            let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+            format!("unknown benchmark {name:?}; choose one of {names:?}")
+        })?;
+
+    let trace = bench.trace(100_000);
+    let core = CoreConfig::big();
+
+    let base = simulate(trace.iter().copied(), core.clone())?;
+    let red = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::redsoc()))?;
+    let mos = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::mos()))?;
+    let ts = run_ts(&trace, &core, base.cycles, 0.01)?;
+
+    println!("benchmark: {} ({} dynamic instructions, BIG core)", bench.name(), trace.len());
+    println!("{:<10} {:>12} {:>10}", "scheduler", "cycles", "speedup");
+    println!("{:<10} {:>12} {:>9.1}%", "baseline", base.cycles, 0.0);
+    println!(
+        "{:<10} {:>12} {:>9.1}%",
+        "ReDSOC",
+        red.cycles,
+        (red.speedup_over(&base) - 1.0) * 100.0
+    );
+    println!(
+        "{:<10} {:>12} {:>9.1}%  (clock {} ps, err {:.3}%)",
+        "TS",
+        ts.cycles,
+        (ts.speedup - 1.0) * 100.0,
+        ts.clock_ps,
+        ts.error_rate * 100.0
+    );
+    println!(
+        "{:<10} {:>12} {:>9.1}%",
+        "MOS",
+        mos.cycles,
+        (mos.speedup_over(&base) - 1.0) * 100.0
+    );
+    println!(
+        "\nReDSOC detail: {} recycled, {} EGPW issues, E[chain] {:.2}, FU stalls {:.1}%",
+        red.recycled_ops,
+        red.egpw_issues,
+        red.chains.weighted_mean(),
+        red.fu_stall_rate() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Slack explorer: inspect the design-time timing model — per-op compute
+//! times, width scaling, slack buckets and the clock-period breakdown
+//! behind Figs. 1–3.
+//!
+//! ```sh
+//! cargo run --release --example slack_explorer
+//! ```
+
+use redsoc::prelude::*;
+use redsoc::timing::kogge_stone::adder_delay_ps;
+use redsoc::timing::optime::{alu_compute_ps, CYCLE_PS};
+
+fn main() {
+    println!("clock period: {CYCLE_PS} ps (2 GHz)\n");
+
+    println!("opcode slack — a logic op vs the critical shifted add:");
+    for (label, op, shift) in [
+        ("AND r,r,r", AluOp::And, false),
+        ("ADD r,r,r", AluOp::Add, false),
+        ("ADD r,r,r LSR #3", AluOp::Add, true),
+    ] {
+        let t = alu_compute_ps(op, shift, 32);
+        println!("  {label:<18} {t:>4} ps  ({:>2}% slack)", (CYCLE_PS - t) * 100 / CYCLE_PS);
+    }
+
+    println!("\nwidth slack — the same ADD at narrower effective widths:");
+    for bits in [32u8, 24, 16, 8] {
+        let t = alu_compute_ps(AluOp::Add, false, bits);
+        println!(
+            "  {bits:>2}-bit operands   {t:>4} ps  (KS carry path {} ps)",
+            adder_delay_ps(u32::from(bits))
+        );
+    }
+
+    println!("\nthe 14 slack buckets and their LUT entries:");
+    let lut = SlackLut::new();
+    for bucket in SlackBucket::all() {
+        println!(
+            "  {:<36} addr {:>#07b}  {:>3} ps compute, {:>3} ps slack",
+            format!("{bucket:?}"),
+            bucket.lut_address(),
+            lut.compute_ps(bucket),
+            lut.slack_ps(bucket)
+        );
+    }
+
+    println!("\naccumulated over a chain, slack crosses cycle boundaries:");
+    let eor = alu_compute_ps(AluOp::Eor, false, 32);
+    let mut t = 0u32;
+    for i in 1..=5 {
+        t += eor;
+        println!(
+            "  after {i} chained EORs: {t:>4} ps = {:.2} cycles (synchronous would use {i})",
+            f64::from(t) / f64::from(CYCLE_PS)
+        );
+    }
+}

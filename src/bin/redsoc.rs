@@ -1,0 +1,209 @@
+//! `redsoc` — command-line driver for the simulator.
+//!
+//! ```sh
+//! redsoc list
+//! redsoc run bitcnt --core big --sched redsoc --len 200000
+//! redsoc compare crc --core medium
+//! redsoc sweep bzip2 --knob threshold
+//! ```
+
+use std::process::ExitCode;
+
+use redsoc::core::ts::run_ts;
+use redsoc::prelude::*;
+
+fn parse_core(s: &str) -> Result<CoreConfig, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "small" => Ok(CoreConfig::small()),
+        "medium" => Ok(CoreConfig::medium()),
+        "big" => Ok(CoreConfig::big()),
+        other => Err(format!("unknown core {other:?} (small|medium|big)")),
+    }
+}
+
+fn parse_sched(s: &str) -> Result<SchedulerConfig, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(SchedulerConfig::baseline()),
+        "redsoc" => Ok(SchedulerConfig::redsoc()),
+        "mos" => Ok(SchedulerConfig::mos()),
+        other => Err(format!("unknown scheduler {other:?} (baseline|redsoc|mos)")),
+    }
+}
+
+fn parse_bench(s: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+            format!("unknown benchmark {s:?}; available: {names:?}")
+        })
+}
+
+/// Minimal flag parser: `--key value` pairs after the positional args.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            pairs.push((key.to_string(), v.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn print_report(label: &str, rep: &SimReport) {
+    println!("--- {label} ---");
+    println!("cycles        {:>12}", rep.cycles);
+    println!("committed     {:>12}", rep.committed);
+    println!("IPC           {:>12.3}", rep.ipc());
+    println!("recycled ops  {:>12}", rep.recycled_ops);
+    println!("EGPW issues   {:>12}  (wasted {})", rep.egpw_issues, rep.egpw_wasted);
+    println!("2-cycle holds {:>12}", rep.two_cycle_holds);
+    println!("E[chain len]  {:>12.2}  ({} sequences)", rep.chains.weighted_mean(), rep.chains.sequences());
+    println!("FU stalls     {:>11.1}%", rep.fu_stall_rate() * 100.0);
+    println!("br mispredict {:>11.2}%", rep.branch.mispredict_rate() * 100.0);
+    println!("tag mispredict{:>11.2}%  ({} predictions)", rep.tag_pred.mispredict_rate() * 100.0, rep.tag_pred.predictions);
+    println!(
+        "width mispred {:>11.2}% aggressive / {:.2}% conservative",
+        rep.width_pred.aggressive_rate() * 100.0,
+        rep.width_pred.conservative_rate() * 100.0
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<12} {:<8}", "benchmark", "class");
+    for b in Benchmark::all() {
+        println!("{:<12} {:<8}", b.name(), b.class().label());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args.first().ok_or("usage: redsoc run <bench> [flags]")?)?;
+    let flags = Flags::parse(&args[1..])?;
+    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
+    let len: u64 = flags
+        .get("len")
+        .unwrap_or("100000")
+        .parse()
+        .map_err(|e| format!("bad --len: {e}"))?;
+    let trace = bench.trace(len);
+    let rep = simulate(trace.into_iter(), core.clone().with_sched(sched.clone()))
+        .map_err(|e| e.to_string())?;
+    print_report(&format!("{} on {} ({:?})", bench.name(), core.name, sched.mode), &rep);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args.first().ok_or("usage: redsoc compare <bench> [flags]")?)?;
+    let flags = Flags::parse(&args[1..])?;
+    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let len: u64 = flags
+        .get("len")
+        .unwrap_or("100000")
+        .parse()
+        .map_err(|e| format!("bad --len: {e}"))?;
+    let trace = bench.trace(len);
+    let base = simulate(trace.iter().copied(), core.clone()).map_err(|e| e.to_string())?;
+    let red = simulate(
+        trace.iter().copied(),
+        core.clone().with_sched(SchedulerConfig::redsoc()),
+    )
+    .map_err(|e| e.to_string())?;
+    let mos = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::mos()))
+        .map_err(|e| e.to_string())?;
+    let ts = run_ts(&trace, &core, base.cycles, 0.01).map_err(|e| e.to_string())?;
+    println!("{} on {} ({} instructions)", bench.name(), core.name, trace.len());
+    println!("{:<10} {:>12} {:>9}", "scheduler", "cycles", "speedup");
+    println!("{:<10} {:>12} {:>8.1}%", "baseline", base.cycles, 0.0);
+    println!("{:<10} {:>12} {:>8.1}%", "redsoc", red.cycles, (red.speedup_over(&base) - 1.0) * 100.0);
+    println!("{:<10} {:>12} {:>8.1}%", "ts", ts.cycles, (ts.speedup - 1.0) * 100.0);
+    println!("{:<10} {:>12} {:>8.1}%", "mos", mos.cycles, (mos.speedup_over(&base) - 1.0) * 100.0);
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args.first().ok_or("usage: redsoc sweep <bench> --knob <threshold|precision>")?)?;
+    let flags = Flags::parse(&args[1..])?;
+    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let knob = flags.get("knob").unwrap_or("threshold");
+    let len: u64 = flags
+        .get("len")
+        .unwrap_or("60000")
+        .parse()
+        .map_err(|e| format!("bad --len: {e}"))?;
+    let trace = bench.trace(len);
+    let base = simulate(trace.iter().copied(), core.clone()).map_err(|e| e.to_string())?;
+    match knob {
+        "threshold" => {
+            println!("{:<10} {:>9}", "threshold", "speedup");
+            for t in 0..=7u64 {
+                let mut s = SchedulerConfig::redsoc();
+                s.threshold_ticks = t;
+                let rep = simulate(trace.iter().copied(), core.clone().with_sched(s))
+                    .map_err(|e| e.to_string())?;
+                println!("{t:<10} {:>8.1}%", (rep.speedup_over(&base) - 1.0) * 100.0);
+            }
+        }
+        "precision" => {
+            println!("{:<10} {:>9}", "ci_bits", "speedup");
+            for bits in 1..=8u8 {
+                let mut s = SchedulerConfig::redsoc();
+                s.ci_bits = bits;
+                s.threshold_ticks = (1 << bits) - 1;
+                let rep = simulate(trace.iter().copied(), core.clone().with_sched(s))
+                    .map_err(|e| e.to_string())?;
+                println!("{bits:<10} {:>8.1}%", (rep.speedup_over(&base) - 1.0) * 100.0);
+            }
+        }
+        other => return Err(format!("unknown knob {other:?} (threshold|precision)")),
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: redsoc <command>\n\
+     \n\
+     commands:\n\
+     \x20 list                     list available benchmarks\n\
+     \x20 run <bench> [flags]      simulate one benchmark\n\
+     \x20 compare <bench> [flags]  baseline vs ReDSOC vs TS vs MOS\n\
+     \x20 sweep <bench> [flags]    design-knob sweep (--knob threshold|precision)\n\
+     \n\
+     flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! full pipeline: random programs and traces must preserve the simulator's
+//! invariants.
+
+use proptest::prelude::*;
+
+use redsoc::mem::{Cache, CacheConfig};
+use redsoc::prelude::*;
+use redsoc::timing::quant::Quant;
+use redsoc::timing::width_predictor::WidthPredictor;
+
+/// Strategy: one random scalar ALU instruction writing/reading the low
+/// registers.
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_operand2() -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        (0u32..1024).prop_map(Operand2::Imm),
+        (0u8..8).prop_map(|n| Operand2::Reg(r(n))),
+        ((0u8..8), (1u8..31)).prop_map(|(n, a)| Operand2::ShiftedReg {
+            reg: r(n),
+            kind: ShiftKind::Lsr,
+            amount: a,
+        }),
+    ]
+}
+
+/// A random straight-line program of ALU ops plus loads/stores into a
+/// bounded scratch region, ending in HALT.
+fn arb_program(max_len: usize) -> impl Strategy<Value = Program> {
+    let instr = prop_oneof![
+        6 => (arb_alu_op(), 0u8..8, 0u8..8, arb_operand2(), any::<bool>()).prop_map(
+            |(op, d, s, op2, flags)| Instr::Alu {
+                op,
+                dst: op.has_dst().then_some(r(d)),
+                src1: Some(r(s)),
+                op2,
+                set_flags: flags,
+            }
+        ),
+        1 => (0u8..8, 0u8..64).prop_map(|(d, off)| Instr::Load {
+            dst: r(d),
+            base: r(30),
+            offset: i32::from(off) * 4,
+            width: MemWidth::B4,
+        }),
+        1 => (0u8..8, 0u8..64).prop_map(|(s, off)| Instr::Store {
+            src: r(s),
+            base: r(30),
+            offset: i32::from(off) * 4,
+            width: MemWidth::B4,
+        }),
+    ];
+    prop::collection::vec(instr, 1..max_len).prop_map(|instrs| {
+        let mut b = ProgramBuilder::new();
+        let scratch = b.alloc_zeroed(512);
+        b.mov_imm(r(30), scratch);
+        for i in instrs {
+            b.push(i);
+        }
+        b.halt();
+        b.build().expect("generated programs are structurally valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Functional execution of any generated program terminates cleanly
+    /// with contiguous sequence numbers and sane width annotations.
+    #[test]
+    fn interpreter_never_faults_on_generated_programs(p in arb_program(60)) {
+        let mut interp = Interpreter::new(&p);
+        let trace = interp.run(10_000).expect("no faults");
+        prop_assert!(interp.is_halted());
+        for (i, op) in trace.iter().enumerate() {
+            prop_assert_eq!(op.seq, i as u64);
+            prop_assert!((1..=64).contains(&op.eff_bits));
+        }
+    }
+
+    /// Every scheduler commits exactly the trace, in bounded time, on any
+    /// generated program.
+    #[test]
+    fn simulator_commits_everything_on_generated_programs(p in arb_program(60)) {
+        let trace: Vec<DynOp> = Interpreter::new(&p).collect();
+        for sched in [SchedulerConfig::baseline(), SchedulerConfig::redsoc(), SchedulerConfig::mos()] {
+            let rep = simulate(trace.iter().copied(), CoreConfig::small().with_sched(sched))
+                .expect("simulation terminates");
+            prop_assert_eq!(rep.committed, trace.len() as u64);
+        }
+    }
+
+    /// ReDSOC's cycle count never exceeds the baseline's by more than the
+    /// bounded replay noise on straight-line code.
+    #[test]
+    fn redsoc_is_never_catastrophically_slower(p in arb_program(80)) {
+        let trace: Vec<DynOp> = Interpreter::new(&p).collect();
+        let base = simulate(trace.iter().copied(), CoreConfig::big()).expect("baseline");
+        let red = simulate(
+            trace.iter().copied(),
+            CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+        ).expect("redsoc");
+        prop_assert!(
+            red.cycles as f64 <= base.cycles as f64 * 1.15 + 16.0,
+            "redsoc {} vs baseline {}", red.cycles, base.cycles
+        );
+    }
+
+    /// Quantisation is conservative at every precision: the tick estimate
+    /// never undershoots the true time.
+    #[test]
+    fn quantisation_never_underestimates(ps in 1u32..=500, bits in 1u8..=8) {
+        let q = Quant::new(bits);
+        let ticks = q.ps_to_ticks_ceil(ps);
+        prop_assert!(q.ticks_to_ps(ticks) >= u64::from(ps));
+        prop_assert!(ticks >= 1);
+        prop_assert!(ticks <= q.ticks_per_cycle());
+    }
+
+    /// Cache coherence of the tag array: an accessed line probes present
+    /// immediately afterwards; stats stay consistent.
+    #[test]
+    fn cache_access_implies_presence(addrs in prop::collection::vec(0u64..(1 << 20), 1..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 2, line_bytes: 64 });
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+            prop_assert!(c.probe(a), "line {a:#x} must be present after access");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+    }
+
+    /// Width-predictor accounting: outcomes partition the predictions.
+    #[test]
+    fn width_predictor_outcomes_partition(
+        widths in prop::collection::vec(0u8..=32, 1..500),
+        pcs in prop::collection::vec(0u32..256, 1..500),
+    ) {
+        let mut p = WidthPredictor::new(64, 2);
+        for (w, pc) in widths.iter().zip(pcs.iter().cycle()) {
+            let pred = p.predict(pc * 4);
+            p.update(pc * 4, pred, WidthClass::from_bits(*w));
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.exact + s.conservative + s.aggressive, s.predictions);
+    }
+
+    /// The slack LUT upper-bounds every concrete operation time, for any
+    /// op / shift / width combination (timing non-speculation).
+    #[test]
+    fn slack_lut_is_always_conservative(op in arb_alu_op(), shifted in any::<bool>(), bits in 1u8..=32) {
+        use redsoc::timing::optime::alu_compute_ps;
+        let lut = SlackLut::new();
+        let shift = op.is_shift() || (shifted && !op.is_shift());
+        let bucket = if op.is_arith() {
+            SlackBucket::Arith { shift, width: WidthClass::from_bits(bits) }
+        } else {
+            SlackBucket::Logic { shift }
+        };
+        prop_assert!(alu_compute_ps(op, shift, bits) <= lut.compute_ps(bucket));
+    }
+}
