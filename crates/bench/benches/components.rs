@@ -1,86 +1,72 @@
-//! Criterion micro-benchmarks of the simulator's building blocks:
-//! interpreter throughput, cache accesses, predictor lookups and the slack
-//! LUT. These bound how fast figure regeneration can run.
+//! Micro-benchmarks of the simulator's building blocks: interpreter
+//! throughput, cache accesses, predictor lookups and the slack LUT. These
+//! bound how fast figure regeneration can run. Uses the in-repo
+//! `microbench` harness (no external benchmark dependencies).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use redsoc_bench::microbench::{bench, group};
 use redsoc_isa::interp::Interpreter;
 use redsoc_mem::MemoryHierarchy;
 use redsoc_timing::slack::{SlackBucket, SlackLut, WidthClass};
 use redsoc_timing::width_predictor::WidthPredictor;
 use redsoc_workloads::mibench;
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
+    group("interpreter");
     let program = mibench::crc32(8);
-    let mut g = c.benchmark_group("interpreter");
     let n = Interpreter::new(&program).count() as u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("crc32_functional_execution", |b| {
-        b.iter(|| {
-            let count = Interpreter::new(black_box(&program)).count();
-            black_box(count)
-        });
+    bench("crc32_functional_execution", n, || {
+        Interpreter::new(black_box(&program)).count()
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("hierarchy_streaming_10k", |b| {
-        b.iter_batched(
-            MemoryHierarchy::paper_default,
-            |mut m| {
-                let mut lat = 0u64;
-                for i in 0..10_000u64 {
-                    lat += u64::from(m.access(0x40, i * 16 % (1 << 20), false).latency_cycles);
-                }
-                black_box(lat)
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_cache() {
+    group("memory");
+    bench("hierarchy_streaming_10k", 10_000, || {
+        let mut m = MemoryHierarchy::paper_default();
+        let mut lat = 0u64;
+        for i in 0..10_000u64 {
+            lat += u64::from(m.access(0x40, i * 16 % (1 << 20), false).latency_cycles);
+        }
+        lat
     });
-    g.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictors");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("width_predictor_10k", |b| {
-        b.iter_batched(
-            WidthPredictor::paper_default,
-            |mut p| {
-                for i in 0..10_000u32 {
-                    let pc = (i % 512) * 4;
-                    let pred = p.predict(pc);
-                    let actual = if i % 7 == 0 { WidthClass::W32 } else { WidthClass::W8 };
-                    p.update(pc, pred, actual);
-                }
-                black_box(p.stats().aggressive)
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_predictors() {
+    group("predictors");
+    bench("width_predictor_10k", 10_000, || {
+        let mut p = WidthPredictor::paper_default();
+        for i in 0..10_000u32 {
+            let pc = (i % 512) * 4;
+            let pred = p.predict(pc);
+            let actual = if i % 7 == 0 {
+                WidthClass::W32
+            } else {
+                WidthClass::W8
+            };
+            p.update(pc, pred, actual);
+        }
+        p.stats().aggressive
     });
-    g.finish();
 }
 
-fn bench_slack_lut(c: &mut Criterion) {
+fn bench_slack_lut() {
+    group("slack");
     let lut = SlackLut::new();
     let buckets = SlackBucket::all();
-    let mut g = c.benchmark_group("slack");
-    g.throughput(Throughput::Elements(buckets.len() as u64));
-    g.bench_function("lut_lookup_all_buckets", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &bucket in &buckets {
-                acc += lut.compute_ps(black_box(bucket));
-            }
-            black_box(acc)
-        });
+    bench("lut_lookup_all_buckets", buckets.len() as u64, || {
+        let mut acc = 0u32;
+        for &bucket in &buckets {
+            acc += lut.compute_ps(black_box(bucket));
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_cache, bench_predictors, bench_slack_lut);
-criterion_main!(benches);
+fn main() {
+    bench_interpreter();
+    bench_cache();
+    bench_predictors();
+    bench_slack_lut();
+}

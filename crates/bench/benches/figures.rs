@@ -1,12 +1,13 @@
-//! Criterion benchmarks that exercise each figure's simulation pipeline at
-//! reduced scale. One group per figure: run the corresponding experiment's
-//! inner loop on a representative benchmark so `cargo bench` validates and
-//! times the whole harness.
+//! Benchmarks that exercise each figure's simulation pipeline at reduced
+//! scale, plus the parallel experiment engine itself: one group per
+//! figure, and a serial-vs-parallel sweep timing row pair that records the
+//! engine's speedup on this machine.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use redsoc_bench::{compare_ts, redsoc_for, TraceCache};
+use redsoc_bench::microbench::{bench, group};
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{compare_ts, cores, redsoc_for, TraceCache};
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
 use redsoc_core::sim::simulate;
 use redsoc_core::ts::error_rate_at;
@@ -25,78 +26,94 @@ fn sim_pair(trace: &[redsoc_isa::DynOp]) -> (u64, u64) {
     (base.cycles, red.cycles)
 }
 
-fn bench_fig01(c: &mut Criterion) {
-    c.bench_function("fig01_alu_times_model", |b| {
-        b.iter(|| black_box(fig1_series()));
+fn bench_fig01() {
+    group("fig01");
+    bench("fig01_alu_times_model", 0, || black_box(fig1_series()));
+}
+
+fn bench_fig11() {
+    group("fig11_chains");
+    let cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Bzip2);
+    bench("bzip2_chain_stats", LEN, || {
+        let rep = simulate(
+            trace.iter().copied(),
+            CoreConfig::big().with_sched(redsoc_for(Benchmark::Bzip2.class())),
+        )
+        .expect("run");
+        rep.chains.weighted_mean()
     });
 }
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut cache = TraceCache::new(LEN);
-    let trace = cache.get(Benchmark::Bitcnt).to_vec();
-    let mut g = c.benchmark_group("fig13_speedup");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(LEN));
-    g.bench_function("bitcnt_baseline_vs_redsoc", |b| {
-        b.iter(|| black_box(sim_pair(&trace)));
+fn bench_fig13() {
+    group("fig13_speedup");
+    let cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Bitcnt);
+    bench("bitcnt_baseline_vs_redsoc", LEN, || {
+        black_box(sim_pair(&trace))
     });
-    g.finish();
 }
 
-fn bench_fig15(c: &mut Criterion) {
-    let mut cache = TraceCache::new(LEN);
-    let trace = cache.get(Benchmark::Crc).to_vec();
-    let mut g = c.benchmark_group("fig15_comparators");
-    g.sample_size(10);
-    g.bench_function("crc_ts_error_analysis", |b| {
-        b.iter(|| black_box(error_rate_at(&trace, 400)));
+fn bench_fig15() {
+    group("fig15_comparators");
+    let cache = TraceCache::new(LEN);
+    let trace = cache.get(Benchmark::Crc);
+    bench("crc_ts_error_analysis", LEN, || {
+        black_box(error_rate_at(&trace, 400))
     });
-    g.bench_function("crc_ts_full", |b| {
-        b.iter(|| {
-            let base = simulate(trace.iter().copied(), CoreConfig::big()).expect("base");
-            let mut cache = TraceCache::new(LEN);
-            black_box(compare_ts(&mut cache, Benchmark::Crc, &CoreConfig::big(), base.cycles))
-        });
+    bench("crc_ts_full", LEN, || {
+        let base = simulate(trace.iter().copied(), CoreConfig::big()).expect("base");
+        black_box(compare_ts(
+            &cache,
+            Benchmark::Crc,
+            &CoreConfig::big(),
+            base.cycles,
+        ))
     });
-    g.finish();
 }
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut cache = TraceCache::new(LEN);
-    let trace = cache.get(Benchmark::Bzip2).to_vec();
-    let mut g = c.benchmark_group("fig11_chains");
-    g.sample_size(10);
-    g.bench_function("bzip2_chain_stats", |b| {
-        b.iter(|| {
-            let rep = simulate(
-                trace.iter().copied(),
-                CoreConfig::big().with_sched(redsoc_for(Benchmark::Bzip2.class())),
-            )
-            .expect("run");
-            black_box(rep.chains.weighted_mean())
-        });
-    });
-    g.finish();
-}
-
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(LEN));
-    for bench in [Benchmark::Xalanc, Benchmark::Conv, Benchmark::Bitcnt] {
-        g.bench_function(bench.name(), |b| {
-            b.iter(|| black_box(bench.trace(LEN).len()));
+fn bench_workload_generation() {
+    group("trace_generation");
+    for bench_id in [Benchmark::Xalanc, Benchmark::Conv, Benchmark::Bitcnt] {
+        bench(bench_id.name(), LEN, || {
+            black_box(bench_id.trace(LEN).len())
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig01,
-    bench_fig11,
-    bench_fig13,
-    bench_fig15,
-    bench_workload_generation
-);
-criterion_main!(figures);
+/// The engine benchmark: the full-workload × BIG sweep serially and with
+/// the machine's thread count. The ratio between these two rows is the
+/// engine's measured speedup on this machine.
+fn bench_engine() {
+    group("parallel_engine");
+    let benches: Vec<Benchmark> = Benchmark::all();
+    let modes = [Mode::Baseline, Mode::Redsoc];
+    let serial_cache = TraceCache::new(LEN);
+    let serial = bench("sweep_16x1x2_serial", LEN * benches.len() as u64, || {
+        run_grid(&serial_cache, &benches, &cores()[..1], &modes, 1)
+            .rows()
+            .len()
+    });
+    let threads = redsoc_bench::threads();
+    let parallel_cache = TraceCache::new(LEN);
+    let parallel = bench("sweep_16x1x2_parallel", LEN * benches.len() as u64, || {
+        run_grid(&parallel_cache, &benches, &cores()[..1], &modes, threads)
+            .rows()
+            .len()
+    });
+    if parallel > 0.0 {
+        println!(
+            "engine speedup at {threads} threads: {:.2}x",
+            serial / parallel
+        );
+    }
+}
+
+fn main() {
+    bench_fig01();
+    bench_fig11();
+    bench_fig13();
+    bench_fig15();
+    bench_workload_generation();
+    bench_engine();
+}

@@ -6,20 +6,24 @@ use redsoc_core::config::{CoreConfig, SchedulerConfig};
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
     let core = CoreConfig::big();
     println!("# CI precision sweep: mean speedup (%) on BIG");
-    println!("{:<10} {}", "class", (1..=8).map(|b| format!("{b:>7}b")).collect::<String>());
+    println!(
+        "{:<10} {}",
+        "class",
+        (1..=8).map(|b| format!("{b:>7}b")).collect::<String>()
+    );
     for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
         let mut row = String::new();
         for bits in 1..=8u8 {
             let mut sps = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let base = run_on(&mut cache, bench, &core, SchedulerConfig::baseline());
+                let base = run_on(&cache, bench, &core, SchedulerConfig::baseline());
                 let mut s = SchedulerConfig::redsoc();
                 s.ci_bits = bits;
                 s.threshold_ticks = (1u64 << bits) - 1;
-                let red = run_on(&mut cache, bench, &core, s);
+                let red = run_on(&cache, bench, &core, s);
                 sps.push((red.speedup_over(&base) - 1.0) * 100.0);
             }
             row.push_str(&format!(" {:>6.1}%", mean(&sps)));

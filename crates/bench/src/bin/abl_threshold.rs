@@ -8,19 +8,22 @@ use redsoc_core::config::SchedulerConfig;
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
     println!("# Threshold sweep: mean speedup (%) per class, BIG core");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "class", "t=0", "t=1", "t=2", "t=3", "t=4", "t=5", "t=6", "t=7");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "class", "t=0", "t=1", "t=2", "t=3", "t=4", "t=5", "t=6", "t=7"
+    );
     let (_, big) = &cores()[0];
     for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
         let mut row = String::new();
         for t in 0..=7u64 {
             let mut sps = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let base = run_on(&mut cache, bench, big, SchedulerConfig::baseline());
+                let base = run_on(&cache, bench, big, SchedulerConfig::baseline());
                 let mut s = SchedulerConfig::redsoc();
                 s.threshold_ticks = t;
-                let red = run_on(&mut cache, bench, big, s);
+                let red = run_on(&cache, bench, big, s);
                 sps.push((red.speedup_over(&base) - 1.0) * 100.0);
             }
             row.push_str(&format!(" {:>5.1}", mean(&sps)));
@@ -30,13 +33,17 @@ fn main() {
     // Per-benchmark detail for the class-regression cases.
     println!("\n# per-benchmark at t in {{3,5,7}}:");
     for bench in Benchmark::paper_set() {
-        let base = run_on(&mut cache, bench, big, SchedulerConfig::baseline());
+        let base = run_on(&cache, bench, big, SchedulerConfig::baseline());
         let mut row = String::new();
         for t in [3u64, 5, 7] {
             let mut s = SchedulerConfig::redsoc();
             s.threshold_ticks = t;
-            let red = run_on(&mut cache, bench, big, s);
-            row.push_str(&format!(" t{}={:>5.1}%", t, (red.speedup_over(&base) - 1.0) * 100.0));
+            let red = run_on(&cache, bench, big, s);
+            row.push_str(&format!(
+                " t{}={:>5.1}%",
+                t,
+                (red.speedup_over(&base) - 1.0) * 100.0
+            ));
         }
         println!("{:<12}{}", bench.name(), row);
     }

@@ -8,13 +8,19 @@ use redsoc_workloads::Benchmark;
 
 fn main() {
     println!("# Width predictor sweep (all benchmarks' scalar ALU ops)");
-    println!("{:<10} {:>12} {:>12} {:>12}", "entries", "aggressive", "conservative", "state(B)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "entries", "aggressive", "conservative", "state(B)"
+    );
     // One interleaved stream over all benchmarks, PC-tagged per benchmark.
     let mut stream: Vec<(u32, WidthClass)> = Vec::new();
     for (i, bench) in Benchmark::paper_set().into_iter().enumerate() {
         for op in bench.trace(40_000) {
             if matches!(op.instr, Instr::Alu { .. }) {
-                stream.push((op.pc ^ ((i as u32) << 20), WidthClass::from_bits(op.eff_bits)));
+                stream.push((
+                    op.pc ^ ((i as u32) << 20),
+                    WidthClass::from_bits(op.eff_bits),
+                ));
             }
         }
     }

@@ -6,21 +6,65 @@ use redsoc_workloads::Benchmark;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "MLMAC".into());
-    let bench = Benchmark::all().into_iter().find(|b| b.name().eq_ignore_ascii_case(&name)).unwrap();
-    let mut cache = TraceCache::new(100_000);
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .unwrap();
+    let cache = TraceCache::new(100_000);
     let trace = cache.get(bench).to_vec();
     let base = CoreConfig::big();
     let variants: Vec<(&str, CoreConfig)> = vec![
         ("big", base.clone()),
-        ("wide16", { let mut c = base.clone(); c.frontend_width = 16; c }),
-        ("alu12", { let mut c = base.clone(); c.alu_units = 12; c.simd_units = 8; c.mem_ports = 6; c }),
-        ("rob320", { let mut c = base.clone(); c.rob_entries = 320; c.rse_entries = 256; c.lsq_entries = 128; c }),
-        ("depth1", { let mut c = base.clone(); c.frontend_depth = 1; c.mispredict_penalty = 2; c }),
-        ("all", { let mut c = base.clone(); c.frontend_width = 16; c.alu_units = 12; c.simd_units = 8; c.mem_ports = 6; c.rob_entries = 320; c.rse_entries = 256; c.lsq_entries = 128; c }),
+        ("wide16", {
+            let mut c = base.clone();
+            c.frontend_width = 16;
+            c
+        }),
+        ("alu12", {
+            let mut c = base.clone();
+            c.alu_units = 12;
+            c.simd_units = 8;
+            c.mem_ports = 6;
+            c
+        }),
+        ("rob320", {
+            let mut c = base.clone();
+            c.rob_entries = 320;
+            c.rse_entries = 256;
+            c.lsq_entries = 128;
+            c
+        }),
+        ("depth1", {
+            let mut c = base.clone();
+            c.frontend_depth = 1;
+            c.mispredict_penalty = 2;
+            c
+        }),
+        ("all", {
+            let mut c = base.clone();
+            c.frontend_width = 16;
+            c.alu_units = 12;
+            c.simd_units = 8;
+            c.mem_ports = 6;
+            c.rob_entries = 320;
+            c.rse_entries = 256;
+            c.lsq_entries = 128;
+            c
+        }),
     ];
     for (label, cfg) in variants {
         let b = simulate(trace.iter().copied(), cfg.clone()).unwrap();
-        let r = simulate(trace.iter().copied(), cfg.with_sched(SchedulerConfig::redsoc())).unwrap();
-        println!("{label:<8} base {} ({:.2} ipc) redsoc {} speedup {:.3}", b.cycles, b.ipc(), r.cycles, r.speedup_over(&b));
+        let r = simulate(
+            trace.iter().copied(),
+            cfg.with_sched(SchedulerConfig::redsoc()),
+        )
+        .unwrap();
+        println!(
+            "{label:<8} base {} ({:.2} ipc) redsoc {} speedup {:.3}",
+            b.cycles,
+            b.ipc(),
+            r.cycles,
+            r.speedup_over(&b)
+        );
     }
 }

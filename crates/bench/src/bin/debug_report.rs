@@ -9,15 +9,47 @@ fn main() {
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(&name))
         .expect("unknown benchmark");
-    let mut cache = TraceCache::new(trace_len());
-    let cmp = compare(&mut cache, bench, &CoreConfig::big());
-    println!("=== {} on BIG (sched {:?}) ===", bench.name(), redsoc_for(bench.class()).threshold_ticks);
-    println!("baseline: cycles {} ipc {:.3} fu_stall {:.3} mispred {:.4}", cmp.base.cycles, cmp.base.ipc(), cmp.base.fu_stall_rate(), cmp.base.branch.mispredict_rate());
+    let cache = TraceCache::new(trace_len());
+    let cmp = compare(&cache, bench, &CoreConfig::big());
+    println!(
+        "=== {} on BIG (sched {:?}) ===",
+        bench.name(),
+        redsoc_for(bench.class()).threshold_ticks
+    );
+    println!(
+        "baseline: cycles {} ipc {:.3} fu_stall {:.3} mispred {:.4}",
+        cmp.base.cycles,
+        cmp.base.ipc(),
+        cmp.base.fu_stall_rate(),
+        cmp.base.branch.mispredict_rate()
+    );
     let r = &cmp.redsoc;
-    println!("redsoc:   cycles {} ipc {:.3} fu_stall {:.3}", r.cycles, r.ipc(), r.fu_stall_rate());
-    println!("  recycled {} egpw_issues {} egpw_wasted {} 2cyc_holds {} gp_mispec {}", r.recycled_ops, r.egpw_issues, r.egpw_wasted, r.two_cycle_holds, r.gp_mispeculations);
-    println!("  chains: {} seqs, mean {:.2}, weighted {:.2}", r.chains.sequences(), r.chains.mean(), r.chains.weighted_mean());
-    println!("  tag_pred: {} preds {:.4} mispred", r.tag_pred.predictions, r.tag_pred.mispredict_rate());
-    println!("  width: {} preds aggr {:.4} cons {:.4}", r.width_pred.predictions, r.width_pred.aggressive_rate(), r.width_pred.conservative_rate());
+    println!(
+        "redsoc:   cycles {} ipc {:.3} fu_stall {:.3}",
+        r.cycles,
+        r.ipc(),
+        r.fu_stall_rate()
+    );
+    println!(
+        "  recycled {} egpw_issues {} egpw_wasted {} 2cyc_holds {} gp_mispec {}",
+        r.recycled_ops, r.egpw_issues, r.egpw_wasted, r.two_cycle_holds, r.gp_mispeculations
+    );
+    println!(
+        "  chains: {} seqs, mean {:.2}, weighted {:.2}",
+        r.chains.sequences(),
+        r.chains.mean(),
+        r.chains.weighted_mean()
+    );
+    println!(
+        "  tag_pred: {} preds {:.4} mispred",
+        r.tag_pred.predictions,
+        r.tag_pred.mispredict_rate()
+    );
+    println!(
+        "  width: {} preds aggr {:.4} cons {:.4}",
+        r.width_pred.predictions,
+        r.width_pred.aggressive_rate(),
+        r.width_pred.conservative_rate()
+    );
     println!("  speedup {:.3}", cmp.speedup());
 }

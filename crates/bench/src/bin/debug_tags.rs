@@ -3,9 +3,14 @@ use redsoc_bench::{redsoc_for, run_on, TraceCache};
 use redsoc_core::config::CoreConfig;
 use redsoc_workloads::Benchmark;
 fn main() {
-    let mut cache = TraceCache::new(30_000);
+    let cache = TraceCache::new(30_000);
     for b in Benchmark::paper_set() {
-        let rep = run_on(&mut cache, b, &CoreConfig::big(), redsoc_for(b.class()));
-        println!("{:<12} preds {:>8} mispred {:.4}", b.name(), rep.tag_pred.predictions, rep.tag_pred.mispredict_rate());
+        let rep = run_on(&cache, b, &CoreConfig::big(), redsoc_for(b.class()));
+        println!(
+            "{:<12} preds {:>8} mispred {:.4}",
+            b.name(),
+            rep.tag_pred.predictions,
+            rep.tag_pred.mispredict_rate()
+        );
     }
 }

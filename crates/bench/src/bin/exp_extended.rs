@@ -15,19 +15,25 @@ fn trace_of(build: fn(u32) -> Program, approx: u64) -> Vec<DynOp> {
     Interpreter::new(&build(iters)).collect()
 }
 
+/// Name and generator of one extended-suite kernel.
+type Kernel = (&'static str, fn(u32) -> Program);
+
 fn main() {
     let approx = std::env::var("REDSOC_TRACE_LEN")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(150_000u64);
-    let kernels: [(&str, fn(u32) -> Program); 4] = [
+    let kernels: [Kernel; 4] = [
         ("qsort", extended::qsort),
         ("dijkstra", extended::dijkstra),
         ("sha_mix", extended::sha_mix),
         ("dot_i8", extended::dot_i8),
     ];
     println!("# Extended suite: ReDSOC speedup over baseline (%)");
-    println!("{:<10} {:>8} {:>8} {:>8}", "kernel", "BIG", "MEDIUM", "SMALL");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "kernel", "BIG", "MEDIUM", "SMALL"
+    );
     for (name, build) in kernels {
         let trace = trace_of(build, approx);
         let mut row = Vec::new();
@@ -40,6 +46,9 @@ fn main() {
             .expect("redsoc");
             row.push((red.speedup_over(&base) - 1.0) * 100.0);
         }
-        println!("{name:<10} {:>7.1}% {:>7.1}% {:>7.1}%", row[0], row[1], row[2]);
+        println!(
+            "{name:<10} {:>7.1}% {:>7.1}% {:>7.1}%",
+            row[0], row[1], row[2]
+        );
     }
 }

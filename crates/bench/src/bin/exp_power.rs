@@ -6,16 +6,19 @@ use redsoc_timing::power::DvfsCurve;
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
     let curve = DvfsCurve::a57();
     println!("# Power savings at baseline performance via V/F scaling (A57 curve)");
-    println!("{:<14} {:>8} {:>8} {:>8}", "class", "BIG", "MEDIUM", "SMALL");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}",
+        "class", "BIG", "MEDIUM", "SMALL"
+    );
     for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
         let mut row = Vec::new();
         for (_, core) in cores() {
             let mut vals = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let cmp = compare(&mut cache, bench, &core);
+                let cmp = compare(&cache, bench, &core);
                 let speedup = (cmp.speedup() - 1.0).max(0.0);
                 vals.push(curve.power_saving_at_iso_perf(1.9, speedup) * 100.0);
             }

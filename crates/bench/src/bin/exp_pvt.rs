@@ -8,16 +8,24 @@ use redsoc_core::config::SchedulerConfig;
 use redsoc_workloads::Benchmark;
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
     let core = CoreConfig::big();
     println!("# PVT guard-band exploitation on BIG (speedup % over baseline)");
-    println!("{:<12} {:>14} {:>14}", "benchmark", "data slack", "+ PVT band");
-    for bench in [Benchmark::Bitcnt, Benchmark::Crc, Benchmark::Bzip2, Benchmark::Gromacs] {
-        let base = run_on(&mut cache, bench, &core, SchedulerConfig::baseline());
-        let red = run_on(&mut cache, bench, &core, redsoc_for(bench.class()));
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "benchmark", "data slack", "+ PVT band"
+    );
+    for bench in [
+        Benchmark::Bitcnt,
+        Benchmark::Crc,
+        Benchmark::Bzip2,
+        Benchmark::Gromacs,
+    ] {
+        let base = run_on(&cache, bench, &core, SchedulerConfig::baseline());
+        let red = run_on(&cache, bench, &core, redsoc_for(bench.class()));
         let mut pvt_sched = redsoc_for(bench.class());
         pvt_sched.pvt_guard_band = true;
-        let pvt = run_on(&mut cache, bench, &core, pvt_sched);
+        let pvt = run_on(&cache, bench, &core, pvt_sched);
         println!(
             "{:<12} {:>13.1}% {:>13.1}%",
             bench.name(),

@@ -7,7 +7,10 @@ use redsoc_timing::slack::{SlackBucket, SlackLut};
 fn main() {
     let lut = SlackLut::new();
     println!("# Fig.3: slack LUT — 5-bit address [arith|shift|simd|width/type(2)]");
-    println!("{:<34} {:>7} {:>10} {:>10}", "bucket", "addr", "time(ps)", "slack(ps)");
+    println!(
+        "{:<34} {:>7} {:>10} {:>10}",
+        "bucket", "addr", "time(ps)", "slack(ps)"
+    );
     for b in SlackBucket::all() {
         println!(
             "{:<34} {:>#07b} {:>10} {:>10}",
@@ -17,5 +20,8 @@ fn main() {
             lut.slack_ps(b)
         );
     }
-    println!("\nclock period: {CYCLE_PS} ps; buckets: {}", SlackBucket::all().len());
+    println!(
+        "\nclock period: {CYCLE_PS} ps; buckets: {}",
+        SlackBucket::all().len()
+    );
 }

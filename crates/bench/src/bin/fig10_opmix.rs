@@ -1,13 +1,14 @@
 //! Fig. 10: benchmark operation characteristics — the distribution of
 //! committed operations over the paper's six categories.
 
-use redsoc_bench::{run_on, trace_len, TraceCache};
-use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{threads, trace_len, TraceCache};
+use redsoc_core::config::CoreConfig;
 use redsoc_core::stats::OpCategory;
 use redsoc_workloads::Benchmark;
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
     let cats = [
         OpCategory::MemHighLatency,
         OpCategory::MemLowLatency,
@@ -16,15 +17,17 @@ fn main() {
         OpCategory::AluLowSlack,
         OpCategory::AluHighSlack,
     ];
+    let benches = Benchmark::paper_set();
+    let cores = [("BIG", CoreConfig::big())];
+    let grid = run_grid(&cache, &benches, &cores, &[Mode::Baseline], threads());
     println!("# Fig.10: operation distribution (% of non-control ops)");
     print!("{:<12}", "benchmark");
     for c in cats {
         print!(" {:>10}", c.label());
     }
     println!();
-    let core = CoreConfig::big();
-    for bench in Benchmark::paper_set() {
-        let rep = run_on(&mut cache, bench, &core, SchedulerConfig::baseline());
+    for bench in benches {
+        let rep = grid.report(bench, "BIG", Mode::Baseline);
         print!("{:<12}", bench.name());
         for c in cats {
             print!(" {:>9.1}%", rep.op_mix.fraction(c) * 100.0);

@@ -1,19 +1,31 @@
 //! Fig. 11: expected value (weighted mean) of transparent-sequence length
 //! per benchmark class on each Table I core.
 
-use redsoc_bench::{cores, mean, redsoc_for, run_on, trace_len, TraceCache};
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{cores, mean, threads, trace_len, TraceCache};
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
+    let cores = cores();
+    let grid = run_grid(
+        &cache,
+        &Benchmark::paper_set(),
+        &cores,
+        &[Mode::Redsoc],
+        threads(),
+    );
     println!("# Fig.11: E[transparent sequence length]");
-    println!("{:<14} {:>8} {:>8} {:>8}", "class", "BIG", "MEDIUM", "SMALL");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}",
+        "class", "BIG", "MEDIUM", "SMALL"
+    );
     for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
         let mut row = Vec::new();
-        for (_, core) in cores() {
+        for (cname, _) in &cores {
             let mut vals = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let rep = run_on(&mut cache, bench, &core, redsoc_for(class));
+                let rep = grid.report(bench, cname, Mode::Redsoc);
                 if rep.chains.sequences() > 0 {
                     vals.push(rep.chains.weighted_mean());
                 }

@@ -1,13 +1,25 @@
 //! Fig. 13: speedup of ReDSOC over the baseline for every benchmark on
 //! each Table I core, with per-class means.
 
-use redsoc_bench::{compare, cores, mean, trace_len, TraceCache};
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{cores, mean, threads, trace_len, TraceCache};
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
+    let cores = cores();
+    let grid = run_grid(
+        &cache,
+        &Benchmark::paper_set(),
+        &cores,
+        &[Mode::Baseline, Mode::Redsoc],
+        threads(),
+    );
     println!("# Fig.13: ReDSOC speedup over baseline (%)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "BIG", "MEDIUM", "SMALL");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "benchmark", "BIG", "MEDIUM", "SMALL"
+    );
     let mut class_acc: Vec<(BenchClass, [Vec<f64>; 3])> = vec![
         (BenchClass::Spec, [vec![], vec![], vec![]]),
         (BenchClass::MiBench, [vec![], vec![], vec![]]),
@@ -15,14 +27,22 @@ fn main() {
     ];
     for bench in Benchmark::paper_set() {
         let mut row = Vec::new();
-        for (ci, (_, core)) in cores().iter().enumerate() {
-            let cmp = compare(&mut cache, bench, core);
-            let sp = (cmp.speedup() - 1.0) * 100.0;
+        for (ci, (cname, _)) in cores.iter().enumerate() {
+            let sp = (grid.speedup(bench, cname, Mode::Redsoc) - 1.0) * 100.0;
             row.push(sp);
-            let acc = class_acc.iter_mut().find(|(c, _)| *c == bench.class()).unwrap();
+            let acc = class_acc
+                .iter_mut()
+                .find(|(c, _)| *c == bench.class())
+                .unwrap();
             acc.1[ci].push(sp);
         }
-        println!("{:<12} {:>7.1}% {:>7.1}% {:>7.1}%", bench.name(), row[0], row[1], row[2]);
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}%",
+            bench.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
     }
     println!();
     for (class, accs) in &class_acc {

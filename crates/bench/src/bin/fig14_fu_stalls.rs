@@ -1,21 +1,29 @@
 //! Fig. 14: pipeline stall rates from busy functional units — baseline vs
 //! ReDSOC, per class × core. ReDSOC's two-cycle FU holds raise pressure.
 
-use redsoc_bench::{compare, cores, mean, trace_len, TraceCache};
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{cores, mean, threads, trace_len, TraceCache};
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
+    let cores = cores();
+    let grid = run_grid(
+        &cache,
+        &Benchmark::paper_set(),
+        &cores,
+        &[Mode::Baseline, Mode::Redsoc],
+        threads(),
+    );
     println!("# Fig.14: FU stall rate (% of cycles with an FU-denied ready op)");
     println!("{:<22} {:>10} {:>10}", "class:core", "Baseline", "ReDSOC");
-    for (cname, core) in cores() {
+    for (cname, _) in &cores {
         for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
             let mut base_vals = Vec::new();
             let mut red_vals = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let cmp = compare(&mut cache, bench, &core);
-                base_vals.push(cmp.base.fu_stall_rate() * 100.0);
-                red_vals.push(cmp.redsoc.fu_stall_rate() * 100.0);
+                base_vals.push(grid.report(bench, cname, Mode::Baseline).fu_stall_rate() * 100.0);
+                red_vals.push(grid.report(bench, cname, Mode::Redsoc).fu_stall_rate() * 100.0);
             }
             println!(
                 "{:<22} {:>9.1}% {:>9.1}%",

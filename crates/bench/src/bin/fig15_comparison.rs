@@ -2,26 +2,34 @@
 //! timing speculation, error rate bounded at 1%) and MOS (dynamic fusion
 //! of operations into single cycles).
 
-use redsoc_bench::{compare, compare_ts, cores, mean, run_on, trace_len, TraceCache};
-use redsoc_core::config::SchedulerConfig;
+use redsoc_bench::runner::{run_grid, Mode};
+use redsoc_bench::{cores, mean, threads, trace_len, TraceCache};
 use redsoc_workloads::{BenchClass, Benchmark};
 
 fn main() {
-    let mut cache = TraceCache::new(trace_len());
+    let cache = TraceCache::new(trace_len());
+    let cores = cores();
+    let grid = run_grid(
+        &cache,
+        &Benchmark::paper_set(),
+        &cores,
+        &[Mode::Baseline, Mode::Redsoc, Mode::Ts, Mode::Mos],
+        threads(),
+    );
     println!("# Fig.15: speedup over baseline (%), ReDSOC vs TS vs MOS");
-    println!("{:<22} {:>8} {:>8} {:>8}", "class:core", "ReDSOC", "TS", "MOS");
-    for (cname, core) in cores() {
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "class:core", "ReDSOC", "TS", "MOS"
+    );
+    for (cname, _) in &cores {
         for class in [BenchClass::Spec, BenchClass::MiBench, BenchClass::Ml] {
             let mut red = Vec::new();
             let mut ts = Vec::new();
             let mut mos = Vec::new();
             for bench in Benchmark::of_class(class) {
-                let cmp = compare(&mut cache, bench, &core);
-                red.push((cmp.speedup() - 1.0) * 100.0);
-                let t = compare_ts(&mut cache, bench, &core, cmp.base.cycles);
-                ts.push((t.speedup - 1.0) * 100.0);
-                let m = run_on(&mut cache, bench, &core, SchedulerConfig::mos());
-                mos.push((m.speedup_over(&cmp.base) - 1.0) * 100.0);
+                red.push((grid.speedup(bench, cname, Mode::Redsoc) - 1.0) * 100.0);
+                ts.push((grid.speedup(bench, cname, Mode::Ts) - 1.0) * 100.0);
+                mos.push((grid.speedup(bench, cname, Mode::Mos) - 1.0) * 100.0);
             }
             println!(
                 "{:<22} {:>7.1}% {:>7.1}% {:>7.1}%",

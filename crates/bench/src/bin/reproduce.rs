@@ -1,10 +1,16 @@
-//! Run every experiment binary's logic in sequence — the one-shot
-//! reproduction driver behind `EXPERIMENTS.md`.
+//! Run every experiment's logic in sequence — the one-shot reproduction
+//! driver behind `EXPERIMENTS.md`.
 //!
-//! Respects `REDSOC_TRACE_LEN`; with the default 300k-instruction traces a
-//! full run takes a few minutes in release mode.
+//! Starts with the parallel engine's full sweep (all workloads × Table I
+//! cores × all modes), writing the machine-readable `BENCH_sweep.json`,
+//! then launches the per-figure binaries. Respects `REDSOC_TRACE_LEN` and
+//! `REDSOC_THREADS`; with the default 300k-instruction traces a full run
+//! takes a few minutes in release mode.
 
 use std::process::Command;
+
+use redsoc_bench::runner::{run_full_sweep, sweep_json, Mode};
+use redsoc_bench::{threads, trace_len, TraceCache};
 
 const BINS: [&str; 14] = [
     "fig01_alu_times",
@@ -24,6 +30,19 @@ const BINS: [&str; 14] = [
 ];
 
 fn main() {
+    let threads = threads();
+    println!("================ engine sweep ({threads} threads) ================");
+    let cache = TraceCache::new(trace_len());
+    let grid = run_full_sweep(&cache, &Mode::all(), threads);
+    let doc = sweep_json(&grid, trace_len());
+    std::fs::write("BENCH_sweep.json", doc.pretty()).expect("write BENCH_sweep.json");
+    println!(
+        "{} jobs in {:.1}s wall ({:.1}s cpu) -> BENCH_sweep.json",
+        grid.rows().len(),
+        grid.wall.as_secs_f64(),
+        grid.cpu_time().as_secs_f64()
+    );
+
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe has a parent dir");
     let mut all = BINS.to_vec();

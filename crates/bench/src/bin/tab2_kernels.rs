@@ -4,16 +4,26 @@ use redsoc_isa::interp::Interpreter;
 use redsoc_isa::opcode::ExecClass;
 use redsoc_workloads::ml;
 
+/// Name, description, and generator of one Table II kernel.
+type Kernel = (&'static str, &'static str, fn(u32) -> redsoc_isa::Program);
+
 fn main() {
     println!("# Table II: kernels for machine learning");
-    let kernels: [(&str, &str, fn(u32) -> redsoc_isa::Program); 5] = [
-        ("CONV", "Convolution: Gaussian 3x3 (VMLA chains)", ml::conv3x3),
+    let kernels: [Kernel; 5] = [
+        (
+            "CONV",
+            "Convolution: Gaussian 3x3 (VMLA chains)",
+            ml::conv3x3,
+        ),
         ("ACT", "Activation: ReLU (VMAX.i16)", ml::relu),
         ("POOL0", "Pooling: 2x2 Max", ml::pool_max),
         ("POOL1", "Pooling: 2x2 Average", ml::pool_avg),
         ("SOFTMAX", "Softmax function", ml::softmax),
     ];
-    println!("{:<9} {:<42} {:>8} {:>7} {:>7}", "kernel", "description", "ops/it", "simd%", "mem%");
+    println!(
+        "{:<9} {:<42} {:>8} {:>7} {:>7}",
+        "kernel", "description", "ops/it", "simd%", "mem%"
+    );
     for (name, desc, build) in kernels {
         let p = build(1);
         let mut total = 0u64;

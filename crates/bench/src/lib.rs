@@ -5,10 +5,27 @@
 //! machine-readable rows; `reproduce` runs them all (see `EXPERIMENTS.md`
 //! for the paper-vs-measured record).
 //!
-//! This library holds the shared experiment runner: workload → trace →
-//! simulation on each Table I core under each scheduler mode.
+//! This library holds the shared experiment engine:
+//!
+//! - [`TraceCache`] — a concurrent, shareable trace store: each workload's
+//!   trace is generated exactly once per process and handed out as
+//!   `Arc<[DynOp]>` to any number of simulation threads;
+//! - [`runner`] — the parallel job runner: fans (benchmark × core ×
+//!   scheduler mode) simulations across a thread pool and collects a
+//!   [`runner::Grid`] of results, honouring `REDSOC_THREADS`;
+//! - [`json`] — a dependency-free JSON value/emitter/parser for the
+//!   machine-readable `BENCH_sweep.json` output;
+//! - [`microbench`] — a minimal wall-clock micro-benchmark harness for the
+//!   `cargo bench` targets.
 
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod microbench;
+pub mod runner;
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
 use redsoc_core::sim::simulate;
@@ -29,6 +46,19 @@ pub fn trace_len() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_TRACE_LEN)
+}
+
+/// Worker-thread count for the parallel runner: `REDSOC_THREADS` when set
+/// (clamped to at least 1), otherwise the machine's available parallelism.
+#[must_use]
+pub fn threads() -> usize {
+    std::env::var("REDSOC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
 }
 
 /// The three Table I cores with their display names.
@@ -61,27 +91,81 @@ pub fn redsoc_for(class: BenchClass) -> SchedulerConfig {
     s
 }
 
-/// One benchmark's traces are expensive to generate; cache per run.
+/// Concurrent, shareable trace store.
+///
+/// Traces are expensive to generate, and a full sweep needs each one on
+/// every core under every scheduler mode. The cache generates each
+/// benchmark's trace **exactly once per process** — concurrent requests
+/// for the same benchmark block on a per-entry [`OnceLock`] while the
+/// first requester generates, and every caller receives a cheap
+/// `Arc<[DynOp]>` handle to the same immutable trace. Distinct benchmarks
+/// generate fully in parallel.
 pub struct TraceCache {
-    entries: Vec<(Benchmark, Vec<DynOp>)>,
+    entries: RwLock<HashMap<Benchmark, TraceSlot>>,
     len: u64,
 }
+
+/// A per-benchmark cache entry: generated at most once, shared by `Arc`.
+type TraceSlot = Arc<OnceLock<Arc<[DynOp]>>>;
 
 impl TraceCache {
     /// Create a cache generating traces of `len` dynamic instructions.
     #[must_use]
     pub fn new(len: u64) -> Self {
-        TraceCache { entries: Vec::new(), len }
+        TraceCache {
+            entries: RwLock::new(HashMap::new()),
+            len,
+        }
     }
 
-    /// The trace for `bench`, generated on first use.
-    pub fn get(&mut self, bench: Benchmark) -> &[DynOp] {
-        if let Some(pos) = self.entries.iter().position(|(b, _)| *b == bench) {
-            return &self.entries[pos].1;
-        }
-        let t = bench.trace(self.len);
-        self.entries.push((bench, t));
-        &self.entries.last().expect("just pushed").1
+    /// The dynamic-instruction budget traces are generated with.
+    #[must_use]
+    pub fn target_len(&self) -> u64 {
+        self.len
+    }
+
+    /// The trace for `bench`, generated on first use and shared thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned (a generator panicked).
+    #[must_use]
+    pub fn get(&self, bench: Benchmark) -> Arc<[DynOp]> {
+        // Fast path: the entry slot already exists.
+        let slot = self
+            .entries
+            .read()
+            .expect("trace cache lock")
+            .get(&bench)
+            .cloned();
+        let slot = match slot {
+            Some(slot) => slot,
+            None => self
+                .entries
+                .write()
+                .expect("trace cache lock")
+                .entry(bench)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone(),
+        };
+        // Generation happens outside both locks: only same-benchmark
+        // requesters block on the OnceLock; other benchmarks proceed.
+        slot.get_or_init(|| bench.trace(self.len).into()).clone()
+    }
+
+    /// Number of traces generated so far (for tests and progress display).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn generated(&self) -> usize {
+        self.entries
+            .read()
+            .expect("trace cache lock")
+            .values()
+            .filter(|s| s.get().is_some())
+            .count()
     }
 }
 
@@ -91,10 +175,15 @@ impl TraceCache {
 ///
 /// Panics on simulator errors (experiments are deterministic; an error is
 /// a bug, not an expected outcome).
-pub fn run_on(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig, sched: SchedulerConfig) -> SimReport {
-    let trace = cache.get(bench).to_vec();
+pub fn run_on(
+    cache: &TraceCache,
+    bench: Benchmark,
+    core: &CoreConfig,
+    sched: SchedulerConfig,
+) -> SimReport {
+    let trace = cache.get(bench);
     let config = core.clone().with_sched(sched);
-    simulate(trace.into_iter(), config)
+    simulate(trace.iter().copied(), config)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), core.name))
 }
 
@@ -116,7 +205,7 @@ impl Comparison {
 }
 
 /// Run the baseline/ReDSOC pair for one benchmark × core.
-pub fn compare(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig) -> Comparison {
+pub fn compare(cache: &TraceCache, bench: Benchmark, core: &CoreConfig) -> Comparison {
     let base = run_on(cache, bench, core, SchedulerConfig::baseline());
     let redsoc = run_on(cache, bench, core, redsoc_for(bench.class()));
     Comparison { base, redsoc }
@@ -124,8 +213,17 @@ pub fn compare(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig) -> C
 
 /// Run the TS comparator for one benchmark × core (§VI-D), given the
 /// baseline cycles.
-pub fn compare_ts(cache: &mut TraceCache, bench: Benchmark, core: &CoreConfig, baseline_cycles: u64) -> TsResult {
-    let trace = cache.get(bench).to_vec();
+///
+/// # Panics
+///
+/// Panics on simulator errors, like [`run_on`].
+pub fn compare_ts(
+    cache: &TraceCache,
+    bench: Benchmark,
+    core: &CoreConfig,
+    baseline_cycles: u64,
+) -> TsResult {
+    let trace = cache.get(bench);
     run_ts(&trace, core, baseline_cycles, 0.01)
         .unwrap_or_else(|e| panic!("TS {} on {}: {e}", bench.name(), core.name))
 }
@@ -163,17 +261,34 @@ mod tests {
 
     #[test]
     fn trace_cache_reuses_traces() {
-        let mut c = TraceCache::new(2_000);
-        let a_len = c.get(Benchmark::Bitcnt).len();
-        let b_len = c.get(Benchmark::Bitcnt).len();
-        assert_eq!(a_len, b_len);
-        assert_eq!(c.entries.len(), 1);
+        let c = TraceCache::new(2_000);
+        let a = c.get(Benchmark::Bitcnt);
+        let b = c.get(Benchmark::Bitcnt);
+        assert!(Arc::ptr_eq(&a, &b), "second get must share the same trace");
+        assert_eq!(c.generated(), 1);
+    }
+
+    #[test]
+    fn trace_cache_is_shareable_across_threads() {
+        let c = TraceCache::new(2_000);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| c.get(Benchmark::Crc).len()))
+                .collect();
+            let lens: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(lens.windows(2).all(|w| w[0] == w[1]));
+        });
+        assert_eq!(c.generated(), 1, "concurrent gets must generate once");
     }
 
     #[test]
     fn smoke_comparison_on_small_trace() {
-        let mut c = TraceCache::new(5_000);
-        let cmp = compare(&mut c, Benchmark::Bitcnt, &CoreConfig::big());
-        assert!(cmp.speedup() > 1.0, "bitcnt must speed up: {}", cmp.speedup());
+        let c = TraceCache::new(5_000);
+        let cmp = compare(&c, Benchmark::Bitcnt, &CoreConfig::big());
+        assert!(
+            cmp.speedup() > 1.0,
+            "bitcnt must speed up: {}",
+            cmp.speedup()
+        );
     }
 }

@@ -1,0 +1,59 @@
+//! Minimal wall-clock micro-benchmark harness for the `cargo bench`
+//! targets (`harness = false`). Prints one machine-readable row per
+//! benchmark: name, iterations, total time, ns/iter and derived
+//! throughput. No statistics beyond a best-of-runs minimum — these
+//! benches bound harness overhead, they are not a rigorous sampler.
+
+use std::time::{Duration, Instant};
+
+/// Default measurement budget per benchmark.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// Print the table header for a group of rows.
+pub fn group(name: &str) {
+    println!("\n## {name}");
+    println!(
+        "{:<40} {:>10} {:>14} {:>14}",
+        "benchmark", "iters", "ns/iter", "elems/s"
+    );
+}
+
+/// Measure `f`, auto-scaling iteration count to the time budget, and
+/// print one row. `elems` is the number of logical elements one call
+/// processes (0 to omit throughput). Returns ns/iter.
+pub fn bench<R>(name: &str, elems: u64, mut f: impl FnMut() -> R) -> f64 {
+    // Warm up and estimate a single-call cost.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Best of three runs to damp scheduler noise.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed());
+    }
+    let ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    let throughput = if elems > 0 && ns_per_iter > 0.0 {
+        format!("{:.2e}", elems as f64 * 1e9 / ns_per_iter)
+    } else {
+        "-".to_string()
+    };
+    println!("{name:<40} {iters:>10} {ns_per_iter:>14.1} {throughput:>14}");
+    ns_per_iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let ns = bench("spin_sum", 1000, || (0..1000u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+}

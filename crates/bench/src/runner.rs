@@ -1,0 +1,438 @@
+//! Parallel experiment runner.
+//!
+//! A sweep is a set of independent simulation **jobs** — one per
+//! (benchmark × core × scheduler mode). [`simulate`] takes owned inputs
+//! and the trace cache hands out shared `Arc<[DynOp]>` traces, so jobs fan
+//! out across a scoped thread pool with no synchronisation beyond an
+//! atomic work index. Results land in per-job slots, so the output order
+//! (and every per-job statistic) is identical to a serial run — the pool
+//! only changes wall-clock, never results.
+//!
+//! The TS comparator needs the matching baseline cycle count, so grids
+//! that include [`Mode::Ts`] run in two waves: all simulator modes first,
+//! then the TS analyses (each wave fully parallel).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::simulate;
+use redsoc_core::stats::SimReport;
+use redsoc_core::ts::TsResult;
+use redsoc_workloads::Benchmark;
+
+use crate::json::Json;
+use crate::{compare_ts, redsoc_for, TraceCache};
+
+/// Scheduler modes a sweep can cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Conventional scheduling (the speedup denominator).
+    Baseline,
+    /// ReDSOC with the class-tuned recycle threshold.
+    Redsoc,
+    /// The MOS operation-fusion comparator.
+    Mos,
+    /// The timing-speculation comparator (derived from the baseline run).
+    Ts,
+}
+
+impl Mode {
+    /// Machine-readable label (used in rows and JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Redsoc => "redsoc",
+            Mode::Mos => "mos",
+            Mode::Ts => "ts",
+        }
+    }
+
+    /// All four modes, baseline first.
+    #[must_use]
+    pub fn all() -> [Mode; 4] {
+        [Mode::Baseline, Mode::Redsoc, Mode::Mos, Mode::Ts]
+    }
+
+    fn sched(self, bench: Benchmark) -> Option<SchedulerConfig> {
+        match self {
+            Mode::Baseline => Some(SchedulerConfig::baseline()),
+            Mode::Redsoc => Some(redsoc_for(bench.class())),
+            Mode::Mos => Some(SchedulerConfig::mos()),
+            Mode::Ts => None,
+        }
+    }
+}
+
+/// One simulation job: a benchmark on a core under a scheduler mode.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Workload.
+    pub bench: Benchmark,
+    /// Core display name (Table I).
+    pub core_name: &'static str,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Scheduler mode.
+    pub mode: Mode,
+}
+
+/// What a job produced: a full simulation report, or a TS analysis.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Cycle-level simulation result.
+    Sim(SimReport),
+    /// Timing-speculation analysis result.
+    Ts(TsResult),
+}
+
+/// A completed job with its measured wall-clock time.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job that ran.
+    pub job: Job,
+    /// Wall-clock time of this job on its worker thread.
+    pub wall: Duration,
+    /// The result payload.
+    pub output: JobOutput,
+}
+
+impl JobResult {
+    /// Simulated cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match &self.output {
+            JobOutput::Sim(r) => r.cycles,
+            JobOutput::Ts(t) => t.cycles,
+        }
+    }
+
+    /// The simulation report, if this was a simulator job.
+    #[must_use]
+    pub fn report(&self) -> Option<&SimReport> {
+        match &self.output {
+            JobOutput::Sim(r) => Some(r),
+            JobOutput::Ts(_) => None,
+        }
+    }
+}
+
+/// Results of a sweep, keyed by (benchmark, core name, mode).
+pub struct Grid {
+    results: HashMap<(Benchmark, &'static str, Mode), JobResult>,
+    /// Wall-clock of the whole sweep (including trace generation).
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl Grid {
+    /// The result for one cell, if the sweep covered it (core names match
+    /// case-insensitively).
+    #[must_use]
+    pub fn get(&self, bench: Benchmark, core_name: &str, mode: Mode) -> Option<&JobResult> {
+        self.results
+            .iter()
+            .find(|((b, c, m), _)| *b == bench && c.eq_ignore_ascii_case(core_name) && *m == mode)
+            .map(|(_, r)| r)
+    }
+
+    /// The simulation report for one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not covered or was a TS job.
+    #[must_use]
+    pub fn report(&self, bench: Benchmark, core_name: &str, mode: Mode) -> &SimReport {
+        self.get(bench, core_name, mode)
+            .unwrap_or_else(|| panic!("grid missing {}/{core_name}/{:?}", bench.name(), mode))
+            .report()
+            .expect("simulator cell")
+    }
+
+    /// Speedup of `mode` over the baseline for one benchmark × core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid lacks the cell or its baseline.
+    #[must_use]
+    pub fn speedup(&self, bench: Benchmark, core_name: &str, mode: Mode) -> f64 {
+        let cell = self
+            .get(bench, core_name, mode)
+            .unwrap_or_else(|| panic!("grid missing {}/{core_name}/{:?}", bench.name(), mode));
+        match &cell.output {
+            // TS carries its own wall-clock-corrected speedup (shorter
+            // cycles at a shorter clock period).
+            JobOutput::Ts(t) => t.speedup,
+            JobOutput::Sim(r) => {
+                let base = self.report(bench, core_name, Mode::Baseline);
+                r.speedup_over(base)
+            }
+        }
+    }
+
+    /// All results in deterministic (benchmark, core, mode) sweep order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<&JobResult> {
+        let mut rows: Vec<&JobResult> = self.results.values().collect();
+        rows.sort_by_key(|r| {
+            (
+                Benchmark::all().iter().position(|b| *b == r.job.bench),
+                r.job.core_name,
+                Mode::all().iter().position(|m| *m == r.job.mode),
+            )
+        });
+        rows
+    }
+
+    /// Sum of per-job wall-clock — the serial-equivalent compute time.
+    #[must_use]
+    pub fn cpu_time(&self) -> Duration {
+        self.results.values().map(|r| r.wall).sum()
+    }
+}
+
+/// Run `f` over `items` on `threads` worker threads, preserving item
+/// order in the returned vector. With `threads == 1` the items run on the
+/// calling thread in order — the serial reference path.
+pub fn run_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // Indexed result slots keep output order identical to input order no
+    // matter which worker claims which item. (Mutex rather than OnceLock:
+    // each slot is written exactly once, and Mutex only needs `R: Send`.)
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// Execute one simulator job (mode must not be [`Mode::Ts`]).
+fn run_sim_job(cache: &TraceCache, job: &Job) -> JobResult {
+    let sched = job.mode.sched(job.bench).expect("sim job");
+    let trace = cache.get(job.bench);
+    let start = Instant::now();
+    let report = simulate(trace.iter().copied(), job.core.clone().with_sched(sched))
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", job.bench.name(), job.core.name));
+    JobResult {
+        job: job.clone(),
+        wall: start.elapsed(),
+        output: JobOutput::Sim(report),
+    }
+}
+
+/// Run a sweep over `benches` × `cores` × `modes` on `threads` workers.
+///
+/// Requesting [`Mode::Ts`] implies baseline runs (they are added when
+/// missing): TS picks its clock from the trace but reports speedup against
+/// the measured baseline cycle count.
+///
+/// # Panics
+///
+/// Panics on simulator errors — experiment inputs are deterministic, so an
+/// error is a bug.
+#[must_use]
+pub fn run_grid(
+    cache: &TraceCache,
+    benches: &[Benchmark],
+    cores: &[(&'static str, CoreConfig)],
+    modes: &[Mode],
+    threads: usize,
+) -> Grid {
+    let start = Instant::now();
+    let want_ts = modes.contains(&Mode::Ts);
+    let mut sim_modes: Vec<Mode> = modes.iter().copied().filter(|m| *m != Mode::Ts).collect();
+    if want_ts && !sim_modes.contains(&Mode::Baseline) {
+        sim_modes.push(Mode::Baseline);
+    }
+
+    // Pre-generate traces in parallel: distinct benchmarks don't contend.
+    run_parallel(benches, threads, |b| {
+        let _ = cache.get(*b);
+    });
+
+    let mut jobs = Vec::new();
+    for bench in benches {
+        for (core_name, core) in cores {
+            for mode in &sim_modes {
+                jobs.push(Job {
+                    bench: *bench,
+                    core_name,
+                    core: core.clone(),
+                    mode: *mode,
+                });
+            }
+        }
+    }
+
+    let results = run_parallel(&jobs, threads, |job| run_sim_job(cache, job));
+    let mut map: HashMap<(Benchmark, &'static str, Mode), JobResult> = results
+        .into_iter()
+        .map(|r| ((r.job.bench, r.job.core_name, r.job.mode), r))
+        .collect();
+
+    if want_ts {
+        let ts_jobs: Vec<Job> = benches
+            .iter()
+            .flat_map(|bench| {
+                cores.iter().map(move |(core_name, core)| Job {
+                    bench: *bench,
+                    core_name,
+                    core: core.clone(),
+                    mode: Mode::Ts,
+                })
+            })
+            .collect();
+        let baselines: HashMap<(Benchmark, &'static str), u64> = ts_jobs
+            .iter()
+            .map(|j| {
+                let base = map
+                    .get(&(j.bench, j.core_name, Mode::Baseline))
+                    .expect("baseline wave ran first");
+                ((j.bench, j.core_name), base.cycles())
+            })
+            .collect();
+        let ts_results = run_parallel(&ts_jobs, threads, |job| {
+            let base_cycles = baselines[&(job.bench, job.core_name)];
+            let start = Instant::now();
+            let ts = compare_ts(cache, job.bench, &job.core, base_cycles);
+            JobResult {
+                job: job.clone(),
+                wall: start.elapsed(),
+                output: JobOutput::Ts(ts),
+            }
+        });
+        map.extend(
+            ts_results
+                .into_iter()
+                .map(|r| ((r.job.bench, r.job.core_name, r.job.mode), r)),
+        );
+    }
+
+    Grid {
+        results: map,
+        wall: start.elapsed(),
+        threads,
+    }
+}
+
+/// The full paper sweep: all sixteen workloads × three Table I cores ×
+/// the requested modes.
+#[must_use]
+pub fn run_full_sweep(cache: &TraceCache, modes: &[Mode], threads: usize) -> Grid {
+    run_grid(cache, &Benchmark::all(), &crate::cores(), modes, threads)
+}
+
+/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v1`
+/// document written to `BENCH_sweep.json`.
+///
+/// Per job: benchmark, class, core, mode, simulated `cycles`, committed
+/// instruction count, `ipc`, per-job `wall_seconds`, and
+/// `speedup_over_baseline` (1.0 for baseline rows by construction; TS rows
+/// carry the clock-corrected TS speedup). TS rows report the committed
+/// count of their matching baseline run, since TS replays the same trace.
+#[must_use]
+pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
+    let jobs: Vec<Json> = grid
+        .rows()
+        .iter()
+        .map(|r| {
+            let (committed, ipc) = match &r.output {
+                JobOutput::Sim(rep) => (rep.committed, rep.ipc()),
+                JobOutput::Ts(t) => {
+                    let base = grid.report(r.job.bench, r.job.core_name, Mode::Baseline);
+                    (base.committed, base.committed as f64 / t.cycles as f64)
+                }
+            };
+            Json::obj(vec![
+                ("benchmark", Json::str(r.job.bench.name())),
+                ("class", Json::str(r.job.bench.class().label())),
+                ("core", Json::str(r.job.core_name)),
+                ("mode", Json::str(r.job.mode.label())),
+                ("cycles", Json::num(r.cycles() as f64)),
+                ("committed", Json::num(committed as f64)),
+                ("ipc", Json::num(ipc)),
+                ("wall_seconds", Json::num(r.wall.as_secs_f64())),
+                (
+                    "speedup_over_baseline",
+                    Json::num(grid.speedup(r.job.bench, r.job.core_name, r.job.mode)),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("redsoc-bench-sweep/v1")),
+        ("trace_len", Json::num(trace_len as f64)),
+        ("threads", Json::num(grid.threads as f64)),
+        ("wall_seconds", Json::num(grid.wall.as_secs_f64())),
+        ("cpu_seconds", Json::num(grid.cpu_time().as_secs_f64())),
+        ("jobs", Json::Arr(jobs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_parallel(&items, 1, |x| x * x);
+        let parallel = run_parallel(&items, 8, |x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[99], 99 * 99);
+    }
+
+    #[test]
+    fn grid_covers_requested_cells() {
+        let cache = TraceCache::new(2_000);
+        let benches = [Benchmark::Bitcnt, Benchmark::Crc];
+        let cores = crate::cores();
+        let grid = run_grid(
+            &cache,
+            &benches,
+            &cores[..1],
+            &[Mode::Baseline, Mode::Redsoc],
+            2,
+        );
+        assert_eq!(grid.rows().len(), 4);
+        assert!(grid.speedup(Benchmark::Bitcnt, "BIG", Mode::Redsoc) > 1.0);
+        assert!(grid.get(Benchmark::Bitcnt, "SMALL", Mode::Redsoc).is_none());
+    }
+
+    #[test]
+    fn ts_mode_pulls_in_baselines() {
+        let cache = TraceCache::new(2_000);
+        let benches = [Benchmark::Bitcnt];
+        let cores = crate::cores();
+        let grid = run_grid(&cache, &benches, &cores[..1], &[Mode::Ts], 2);
+        assert!(grid.get(Benchmark::Bitcnt, "BIG", Mode::Baseline).is_some());
+        let ts = grid.speedup(Benchmark::Bitcnt, "BIG", Mode::Ts);
+        assert!(ts.is_finite() && ts > 0.0);
+    }
+}

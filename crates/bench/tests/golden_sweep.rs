@@ -1,0 +1,82 @@
+//! Fast golden test of the machine-readable sweep: at a tiny trace
+//! length the full sweep must cover all 16 workloads × 3 cores, serialise
+//! to JSON that parses back, and report finite, positive speedups
+//! everywhere.
+
+use redsoc_bench::json::Json;
+use redsoc_bench::runner::{run_full_sweep, sweep_json, Mode};
+use redsoc_bench::{threads, TraceCache};
+use redsoc_workloads::Benchmark;
+
+const LEN: u64 = 5_000;
+
+#[test]
+fn full_sweep_json_is_complete_and_sane() {
+    let cache = TraceCache::new(LEN);
+    let grid = run_full_sweep(&cache, &Mode::all(), threads());
+    let text = sweep_json(&grid, LEN).pretty();
+
+    let doc = Json::parse(&text).expect("sweep JSON parses back");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("redsoc-bench-sweep/v1")
+    );
+    assert_eq!(
+        doc.get("trace_len").and_then(Json::as_num),
+        Some(LEN as f64)
+    );
+    assert!(doc
+        .get("threads")
+        .and_then(Json::as_num)
+        .is_some_and(|t| t >= 1.0));
+    assert!(doc
+        .get("wall_seconds")
+        .and_then(Json::as_num)
+        .is_some_and(|w| w > 0.0));
+
+    let jobs = doc.get("jobs").and_then(Json::as_arr).expect("jobs array");
+    // 16 workloads × 3 cores × 4 modes.
+    assert_eq!(jobs.len(), Benchmark::all().len() * 3 * Mode::all().len());
+
+    // Coverage: every (benchmark, core) pair appears for every mode.
+    for bench in Benchmark::all() {
+        for core in ["BIG", "MEDIUM", "SMALL"] {
+            for mode in Mode::all() {
+                let hit = jobs.iter().any(|j| {
+                    j.get("benchmark").and_then(Json::as_str) == Some(bench.name())
+                        && j.get("core").and_then(Json::as_str) == Some(core)
+                        && j.get("mode").and_then(Json::as_str) == Some(mode.label())
+                });
+                assert!(hit, "missing {}/{core}/{}", bench.name(), mode.label());
+            }
+        }
+    }
+
+    // Sanity of every row: finite positive speedup, real cycle counts.
+    for j in jobs {
+        let name = j.get("benchmark").and_then(Json::as_str).unwrap_or("?");
+        let speedup = j
+            .get("speedup_over_baseline")
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("{name}: speedup missing or non-finite"));
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "{name}: bad speedup {speedup}"
+        );
+        assert!(j
+            .get("cycles")
+            .and_then(Json::as_num)
+            .is_some_and(|c| c > 0.0));
+        assert!(j
+            .get("committed")
+            .and_then(Json::as_num)
+            .is_some_and(|c| c > 0.0));
+        assert!(j.get("ipc").and_then(Json::as_num).is_some_and(|i| i > 0.0));
+        if j.get("mode").and_then(Json::as_str) == Some("baseline") {
+            assert!(
+                (speedup - 1.0).abs() < 1e-12,
+                "{name}: baseline speedup must be 1.0, got {speedup}"
+            );
+        }
+    }
+}

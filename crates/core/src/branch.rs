@@ -156,7 +156,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong <= 2, "biased branch should be learned quickly: {wrong}");
+        assert!(
+            wrong <= 2,
+            "biased branch should be learned quickly: {wrong}"
+        );
     }
 
     #[test]
@@ -188,7 +191,10 @@ mod tests {
                 wrong_late += 1;
             }
         }
-        assert!(wrong_late <= 20, "loop exits should become predictable: {wrong_late}");
+        assert!(
+            wrong_late <= 20,
+            "loop exits should become predictable: {wrong_late}"
+        );
     }
 
     #[test]
@@ -203,14 +209,17 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             g.predict_and_train(0x200, x & 3 != 0); // noisy-ish
-            let taken = x % 97 != 0; // ~99% taken
+            let taken = !x.is_multiple_of(97); // ~99% taken
             let correct = g.predict_and_train(0x100, taken);
             if i >= 2000 && !correct {
                 biased_wrong_late += 1;
             }
         }
         let rate = f64::from(biased_wrong_late) / 2000.0;
-        assert!(rate < 0.08, "biased branch must stay predictable under noise: {rate}");
+        assert!(
+            rate < 0.08,
+            "biased branch must stay predictable under noise: {rate}"
+        );
     }
 
     #[test]

@@ -75,13 +75,19 @@ impl SchedulerConfig {
     /// Conventional baseline scheduling.
     #[must_use]
     pub fn baseline() -> Self {
-        SchedulerConfig { mode: SchedMode::Baseline, ..SchedulerConfig::redsoc() }
+        SchedulerConfig {
+            mode: SchedMode::Baseline,
+            ..SchedulerConfig::redsoc()
+        }
     }
 
     /// The MOS operation-fusion comparator.
     #[must_use]
     pub fn mos() -> Self {
-        SchedulerConfig { mode: SchedMode::Mos, ..SchedulerConfig::redsoc() }
+        SchedulerConfig {
+            mode: SchedMode::Mos,
+            ..SchedulerConfig::redsoc()
+        }
     }
 
     /// The CI quantiser implied by `ci_bits`.
@@ -235,11 +241,35 @@ mod tests {
     #[test]
     fn table1_presets_match_paper() {
         let [s, m, b] = CoreConfig::table1();
-        assert_eq!((s.frontend_width, s.rob_entries, s.lsq_entries, s.rse_entries), (3, 40, 16, 32));
+        assert_eq!(
+            (
+                s.frontend_width,
+                s.rob_entries,
+                s.lsq_entries,
+                s.rse_entries
+            ),
+            (3, 40, 16, 32)
+        );
         assert_eq!((s.alu_units, s.simd_units, s.fp_units), (3, 2, 2));
-        assert_eq!((m.frontend_width, m.rob_entries, m.lsq_entries, m.rse_entries), (4, 80, 32, 64));
+        assert_eq!(
+            (
+                m.frontend_width,
+                m.rob_entries,
+                m.lsq_entries,
+                m.rse_entries
+            ),
+            (4, 80, 32, 64)
+        );
         assert_eq!((m.alu_units, m.simd_units, m.fp_units), (4, 3, 3));
-        assert_eq!((b.frontend_width, b.rob_entries, b.lsq_entries, b.rse_entries), (8, 160, 64, 128));
+        assert_eq!(
+            (
+                b.frontend_width,
+                b.rob_entries,
+                b.lsq_entries,
+                b.rse_entries
+            ),
+            (8, 160, 64, 128)
+        );
         assert_eq!((b.alu_units, b.simd_units, b.fp_units), (6, 4, 4));
         for c in [&s, &m, &b] {
             c.validate().unwrap();

@@ -53,7 +53,9 @@ impl FuPool {
     #[must_use]
     pub fn new(units: u32) -> Self {
         assert!(units > 0, "a pool needs at least one unit");
-        FuPool { free_at: vec![0; units as usize] }
+        FuPool {
+            free_at: vec![0; units as usize],
+        }
     }
 
     /// Number of units free to start executing at `exec_cycle`.

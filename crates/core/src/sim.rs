@@ -75,7 +75,10 @@ impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::Deadlock { cycle, committed } => {
-                write!(f, "no commit progress at cycle {cycle} ({committed} committed)")
+                write!(
+                    f,
+                    "no commit progress at cycle {cycle} ({committed} committed)"
+                )
             }
             SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -211,12 +214,8 @@ impl Simulator {
     pub fn new(config: CoreConfig) -> Result<Self, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
         let quant = config.sched.quant();
-        let memory = MemoryHierarchy::new(
-            config.l1,
-            config.l2,
-            config.mem_latencies,
-            config.prefetch,
-        );
+        let memory =
+            MemoryHierarchy::new(config.l1, config.l2, config.mem_latencies, config.prefetch);
         let pvt = if config.sched.pvt_guard_band {
             PvtModel::nominal()
         } else {
@@ -327,7 +326,12 @@ impl Simulator {
     /// register). Only this operand is late-forwarded; the multiply
     /// operands feed the front of the multiply pipeline.
     fn is_acc_operand(producer: &Ifo, consumer: &Ifo) -> bool {
-        let Instr::Simd { op: SimdOp::Vmla, dst, .. } = consumer.op.instr else {
+        let Instr::Simd {
+            op: SimdOp::Vmla,
+            dst,
+            ..
+        } = consumer.op.instr
+        else {
             return false;
         };
         producer.dst_arch == Some(dst)
@@ -341,11 +345,19 @@ impl Simulator {
     /// late-forwarding); its accumulate operand follows the normal
     /// single-cycle path.
     fn src_sel_ready(&self, tag: u64, consumer: &Ifo) -> Option<u64> {
-        let Some(p) = self.ifo(tag) else { return Some(0) };
+        let Some(p) = self.ifo(tag) else {
+            return Some(0);
+        };
         if !p.issued {
             return None;
         }
-        let is_vmla = matches!(consumer.op.instr, Instr::Simd { op: SimdOp::Vmla, .. });
+        let is_vmla = matches!(
+            consumer.op.instr,
+            Instr::Simd {
+                op: SimdOp::Vmla,
+                ..
+            }
+        );
         if is_vmla && !Self::is_acc_operand(p, consumer) {
             return Some(p.sel_ready + u64::from(self.latencies.simd_mul - 1));
         }
@@ -359,9 +371,17 @@ impl Simulator {
     /// A VMLA consumer sees transparency only on its accumulate operand —
     /// multiply operands enter the (true-synchronous) multiply array.
     fn avail_for(&self, tag: u64, consumer: &Ifo) -> (u64, bool) {
-        let Some(p) = self.ifo(tag) else { return (0, false) };
+        let Some(p) = self.ifo(tag) else {
+            return (0, false);
+        };
         debug_assert!(p.issued, "avail_for called before producer issue");
-        let is_vmla = matches!(consumer.op.instr, Instr::Simd { op: SimdOp::Vmla, .. });
+        let is_vmla = matches!(
+            consumer.op.instr,
+            Instr::Simd {
+                op: SimdOp::Vmla,
+                ..
+            }
+        );
         if is_vmla && !Self::is_acc_operand(p, consumer) {
             return (self.quant.ceil_to_cycle(p.avail), false);
         }
@@ -413,7 +433,10 @@ impl Simulator {
                 Instr::Branch { cond: Cond::Al, .. } => false,
                 _ => false,
             };
-            self.fetchq.push_back(Fetched { op, ready_cycle: ready });
+            self.fetchq.push_back(Fetched {
+                op,
+                ready_cycle: ready,
+            });
             if is_halt {
                 self.fetch_stopped = true;
                 break;
@@ -435,7 +458,9 @@ impl Simulator {
 
     fn dispatch(&mut self) {
         for _ in 0..self.config.frontend_width {
-            let Some(head) = self.fetchq.front() else { break };
+            let Some(head) = self.fetchq.front() else {
+                break;
+            };
             if head.ready_cycle > self.cycle {
                 break;
             }
@@ -467,7 +492,12 @@ impl Simulator {
         // multiply overlaps older chain links; its operands therefore need
         // an extra lead time, enforced in `src_sel_ready`.
         let mut vmla_acc_ext: Option<u64> = None;
-        if let Instr::Simd { op: SimdOp::Vmla, ty, .. } = op.instr {
+        if let Instr::Simd {
+            op: SimdOp::Vmla,
+            ty,
+            ..
+        } = op.instr
+        {
             recyclable = true;
             vmla_acc_ext = Some(
                 self.quant
@@ -498,8 +528,8 @@ impl Simulator {
         let ext_ticks = if let Some(acc) = vmla_acc_ext {
             acc
         } else if recyclable {
-            let bucket = SlackBucket::classify(&op.instr, pred_width)
-                .expect("recyclable ops classify");
+            let bucket =
+                SlackBucket::classify(&op.instr, pred_width).expect("recyclable ops classify");
             self.quant.ps_to_ticks_ceil(self.lut.compute_ps(bucket))
         } else {
             0
@@ -550,7 +580,9 @@ impl Simulator {
 
         // Grandparent tag: the predicted-last parent's own predicted-last
         // parent, passed through rename exactly as in the paper.
-        let gp_tag = pred_last.and_then(|t| self.ifo(t)).and_then(|p| p.pred_last);
+        let gp_tag = pred_last
+            .and_then(|t| self.ifo(t))
+            .and_then(|p| p.pred_last);
 
         let ifo = Ifo {
             op,
@@ -603,18 +635,18 @@ impl Simulator {
     /// has not produced its data yet (perfect disambiguation: the trace
     /// gives exact addresses).
     fn load_blocked(&self, load: &Ifo) -> bool {
-        let Some(addr) = load.op.eff_addr else { return false };
+        let Some(addr) = load.op.eff_addr else {
+            return false;
+        };
         let (a0, a1) = Self::byte_range(addr, &load.op.instr);
         self.ifos.iter().any(|s| {
             s.op.seq < load.op.seq
                 && matches!(s.op.instr, Instr::Store { .. })
                 && !s.issued
-                && s.op
-                    .eff_addr
-                    .is_some_and(|sa| {
-                        let (s0, s1) = Self::byte_range(sa, &s.op.instr);
-                        s0 < a1 && a0 < s1
-                    })
+                && s.op.eff_addr.is_some_and(|sa| {
+                    let (s0, s1) = Self::byte_range(sa, &s.op.instr);
+                    s0 < a1 && a0 < s1
+                })
         })
     }
 
@@ -671,10 +703,7 @@ impl Simulator {
         }
         // Eager grandparent wakeup (§IV-B): speculative request once the
         // grandparent has broadcast, hoping the parent issues this cycle.
-        if self.config.sched.mode == SchedMode::Redsoc
-            && self.config.sched.egpw
-            && x.recyclable
-        {
+        if self.config.sched.mode == SchedMode::Redsoc && self.config.sched.egpw && x.recyclable {
             if let Some(gp) = x.gp_tag {
                 if self.src_sel_ready(gp, x).is_some_and(|r| r <= self.cycle) {
                     return Some(true);
@@ -704,21 +733,20 @@ impl Simulator {
 
     fn select_and_issue(&mut self) {
         // Gather requests per pool.
-        let mut requests: Vec<(PoolKind, Vec<(u64, bool)>)> = [
-            PoolKind::Alu,
-            PoolKind::Simd,
-            PoolKind::Fp,
-            PoolKind::Mem,
-        ]
-        .into_iter()
-        .map(|k| (k, Vec::new()))
-        .collect();
+        let mut requests: Vec<(PoolKind, Vec<(u64, bool)>)> =
+            [PoolKind::Alu, PoolKind::Simd, PoolKind::Fp, PoolKind::Mem]
+                .into_iter()
+                .map(|k| (k, Vec::new()))
+                .collect();
         for x in &self.ifos {
             if x.committed || x.issued {
                 continue;
             }
             if let Some(spec) = self.request_kind(x) {
-                let slot = requests.iter_mut().find(|(k, _)| *k == x.pool).expect("pool exists");
+                let slot = requests
+                    .iter_mut()
+                    .find(|(k, _)| *k == x.pool)
+                    .expect("pool exists");
                 slot.1.push((x.op.seq, spec));
             }
         }
@@ -800,12 +828,10 @@ impl Simulator {
                 && q.ci_of(p.avail) <= self.config.sched.threshold_ticks
                 && q.ci_of(p.avail) != 0;
             // All other operands must be ready in time as well.
-            let others_ok = x.srcs.iter().all(|&s| {
-                s == parent_tag
-                    || self
-                        .src_sel_ready(s, &x)
-                        .is_some_and(|r| r <= t)
-            });
+            let others_ok = x
+                .srcs
+                .iter()
+                .all(|&s| s == parent_tag || self.src_sel_ready(s, &x).is_some_and(|r| r <= t));
             if !(recycle_ok && others_ok) {
                 self.report.egpw_wasted += 1;
                 return IssueOutcome::SpecNotRecyclable;
@@ -814,18 +840,12 @@ impl Simulator {
             // Scoreboard validation of the last-arrival prediction
             // (operational design, §IV-C): every operand *not* predicted
             // last must already be available.
-            let use_pred = self.config.sched.mode == SchedMode::Redsoc
-                && x.recyclable
-                && !x.fallback;
+            let use_pred =
+                self.config.sched.mode == SchedMode::Redsoc && x.recyclable && !x.fallback;
             if use_pred {
-                let not_ready: Option<u64> = x
-                    .srcs
-                    .iter()
-                    .copied()
-                    .find(|&s| {
-                        Some(s) != x.pred_last
-                            && self.src_sel_ready(s, &x).is_none_or(|r| r > t)
-                    });
+                let not_ready: Option<u64> = x.srcs.iter().copied().find(|&s| {
+                    Some(s) != x.pred_last && self.src_sel_ready(s, &x).is_none_or(|r| r > t)
+                });
                 if let Some(late) = not_ready {
                     // Tag mispredict: recover by falling back to
                     // all-operand wakeup after a small penalty.
@@ -860,7 +880,11 @@ impl Simulator {
                     .and_then(|&s| self.ifo(s))
                     .map_or(0, |p| p.sel_ready)
             };
-            let actual = if ready(i0) > ready(i1) { LastArrival::Src0 } else { LastArrival::Src1 };
+            let actual = if ready(i0) > ready(i1) {
+                LastArrival::Src0
+            } else {
+                LastArrival::Src1
+            };
             self.tag_pred.train_only(x.op.pc, actual);
         }
 
@@ -934,12 +958,24 @@ impl Simulator {
             }
             ExecClass::IntDiv => {
                 let l = u64::from(self.latencies.int_div);
-                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, self.latencies.int_div, false)
+                (
+                    t + l,
+                    q.cycle_start(t + 1 + l),
+                    t + 1 + l,
+                    self.latencies.int_div,
+                    false,
+                )
             }
             ExecClass::Fp => {
                 let instr_lat = match x.op.instr {
-                    Instr::Fp { op: redsoc_isa::opcode::FpOp::Fdiv, .. } => self.latencies.fp_div,
-                    Instr::Fp { op: redsoc_isa::opcode::FpOp::Fmul, .. } => self.latencies.fp_mul,
+                    Instr::Fp {
+                        op: redsoc_isa::opcode::FpOp::Fdiv,
+                        ..
+                    } => self.latencies.fp_div,
+                    Instr::Fp {
+                        op: redsoc_isa::opcode::FpOp::Fmul,
+                        ..
+                    } => self.latencies.fp_mul,
                     _ => self.latencies.fp_add,
                 };
                 let l = u64::from(instr_lat);
@@ -960,7 +996,13 @@ impl Simulator {
                     let addr = u64::from(x.op.eff_addr.expect("loads carry addresses"));
                     let res = self.memory.access(x.op.pc, addr, false);
                     let l = 1 + u64::from(res.latency_cycles); // AGU + access
-                    (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, res.outcome.is_high_latency())
+                    (
+                        t + l,
+                        q.cycle_start(t + 1 + l),
+                        t + 1 + l,
+                        1,
+                        res.outcome.is_high_latency(),
+                    )
                 }
             }
             ExecClass::Store => (t + 1, q.cycle_start(t + 2), t + 2, 1, false),
@@ -1040,12 +1082,9 @@ impl Simulator {
                         && y.earliest_req <= t + 1
                         && y.srcs.contains(&head)
                         && budget + y.ext_ticks <= tpc
-                        && y.srcs.iter().all(|&s| {
-                            s == head
-                                || self
-                                    .src_sel_ready(s, y)
-                                    .is_some_and(|r| r <= t)
-                        })
+                        && y.srcs
+                            .iter()
+                            .all(|&s| s == head || self.src_sel_ready(s, y).is_some_and(|r| r <= t))
                 })
                 .min_by_key(|y| y.op.seq)
                 .map(|y| y.op.seq);
@@ -1075,7 +1114,9 @@ impl Simulator {
     fn commit(&mut self) {
         for _ in 0..self.config.frontend_width {
             let head_idx = (self.committed_total - self.base_seq) as usize;
-            let Some(head) = self.ifos.get(head_idx) else { break };
+            let Some(head) = self.ifos.get(head_idx) else {
+                break;
+            };
             if !head.issued || self.cycle < head.done_cycle {
                 break;
             }
@@ -1205,7 +1246,11 @@ mod tests {
         // EOR (~160 ps) leaves >60% slack; transparent chaining should pack
         // 2-3 dependent ops per cycle.
         assert!(speedup > 1.5, "expected large chain speedup, got {speedup}");
-        assert!(red.recycled_ops > 500, "recycling should dominate: {}", red.recycled_ops);
+        assert!(
+            red.recycled_ops > 500,
+            "recycling should dominate: {}",
+            red.recycled_ops
+        );
         assert!(red.chains.sequences() > 0, "chains should be recorded");
         assert!(red.chains.weighted_mean() >= 2.0);
     }
@@ -1216,7 +1261,10 @@ mod tests {
         let base = run_mode(&trace, SchedulerConfig::baseline());
         let red = run_mode(&trace, SchedulerConfig::redsoc());
         let speedup = red.speedup_over(&base);
-        assert!(speedup > 0.95, "independent code must not regress: {speedup}");
+        assert!(
+            speedup > 0.95,
+            "independent code must not regress: {speedup}"
+        );
     }
 
     #[test]
@@ -1260,7 +1308,10 @@ mod tests {
         let mos_sp = mos.speedup_over(&base);
         let red_sp = red.speedup_over(&base);
         assert!(mos_sp < 1.05, "MOS cannot fuse wide adds: {mos_sp}");
-        assert!(red_sp > mos_sp + 0.05, "ReDSOC {red_sp} should beat MOS {mos_sp}");
+        assert!(
+            red_sp > mos_sp + 0.05,
+            "ReDSOC {red_sp} should beat MOS {mos_sp}"
+        );
     }
 
     #[test]
@@ -1298,8 +1349,18 @@ mod tests {
     fn memory_ops_flow_through_with_forwarding() {
         // store then load to the same address: must forward, not deadlock.
         let mut ops = Vec::new();
-        let store = Instr::Store { src: r(1), base: r(0), offset: 0, width: MemWidth::B4 };
-        let load = Instr::Load { dst: r(2), base: r(0), offset: 0, width: MemWidth::B4 };
+        let store = Instr::Store {
+            src: r(1),
+            base: r(0),
+            offset: 0,
+            width: MemWidth::B4,
+        };
+        let load = Instr::Load {
+            dst: r(2),
+            base: r(0),
+            offset: 0,
+            width: MemWidth::B4,
+        };
         for i in 0..200u64 {
             let mut s = DynOp::simple(2 * i, 0x100, store);
             s.eff_addr = Some(0x2000 + ((i as u32 % 8) * 4));
@@ -1328,7 +1389,10 @@ mod tests {
                     set_flags: true,
                 };
                 ops.push(DynOp::simple(2 * i, 0x40, cmp));
-                let br = Instr::Branch { cond: Cond::Ne, target: LabelId::new(0) };
+                let br = Instr::Branch {
+                    cond: Cond::Ne,
+                    target: LabelId::new(0),
+                };
                 let mut b = DynOp::simple(2 * i + 1, 0x44, br);
                 b.taken = if random {
                     x ^= x << 13;
@@ -1359,7 +1423,10 @@ mod tests {
     #[test]
     fn deadlock_guard_reports_not_hangs() {
         // An empty trace terminates immediately (not a deadlock).
-        let rep = run_mode(&[DynOp::simple(0, 0, Instr::Halt)], SchedulerConfig::redsoc());
+        let rep = run_mode(
+            &[DynOp::simple(0, 0, Instr::Halt)],
+            SchedulerConfig::redsoc(),
+        );
         assert_eq!(rep.committed, 1);
     }
 
@@ -1367,7 +1434,10 @@ mod tests {
     fn skewed_select_eliminates_gp_mispeculation() {
         let trace = logic_chain_trace(2000);
         let red = run_mode(&trace, SchedulerConfig::redsoc());
-        assert_eq!(red.gp_mispeculations, 0, "skewed global arbitration precludes GP-mispeculation");
+        assert_eq!(
+            red.gp_mispeculations, 0,
+            "skewed global arbitration precludes GP-mispeculation"
+        );
         let mut unskewed = SchedulerConfig::redsoc();
         unskewed.skewed_select = false;
         let r2 = run_mode(&trace, unskewed);
@@ -1395,7 +1465,17 @@ mod tests {
         let c6 = cycles[5] as f64;
         assert!((c3 - c6).abs() / c6 < 0.08, "3-bit {c3} vs 6-bit {c6}");
         // …while 1–2 bits quantise the add to a full cycle and lose the win.
-        assert!(cycles[0] > cycles[2], "1-bit {} vs 3-bit {}", cycles[0], cycles[2]);
-        assert!(cycles[1] > cycles[2], "2-bit {} vs 3-bit {}", cycles[1], cycles[2]);
+        assert!(
+            cycles[0] > cycles[2],
+            "1-bit {} vs 3-bit {}",
+            cycles[0],
+            cycles[2]
+        );
+        assert!(
+            cycles[1] > cycles[2],
+            "2-bit {} vs 3-bit {}",
+            cycles[1],
+            cycles[2]
+        );
     }
 }

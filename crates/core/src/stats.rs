@@ -51,7 +51,12 @@ impl OpCategory {
     /// slack bucket leaves > 20% of the clock unused — the paper's ALU-HS
     /// definition).
     #[must_use]
-    pub fn classify(instr: &Instr, l1_miss: bool, actual_width: WidthClass, lut: &SlackLut) -> Self {
+    pub fn classify(
+        instr: &Instr,
+        l1_miss: bool,
+        actual_width: WidthClass,
+        lut: &SlackLut,
+    ) -> Self {
         match instr.exec_class() {
             ExecClass::Load | ExecClass::Store => {
                 if l1_miss {
@@ -64,8 +69,8 @@ impl OpCategory {
             ExecClass::Fp | ExecClass::IntMul | ExecClass::IntDiv => OpCategory::OtherMulti,
             ExecClass::Branch => OpCategory::Control,
             ExecClass::IntAlu => {
-                let bucket = SlackBucket::classify(instr, actual_width)
-                    .expect("IntAlu ops always classify");
+                let bucket =
+                    SlackBucket::classify(instr, actual_width).expect("IntAlu ops always classify");
                 if lut.slack_ps(bucket) * 5 > CYCLE_PS {
                     OpCategory::AluHighSlack
                 } else {
@@ -163,7 +168,11 @@ impl ChainStats {
         if weight == 0 {
             return 0.0;
         }
-        let sq: u64 = self.lengths.iter().map(|(l, c)| u64::from(*l) * u64::from(*l) * c).sum();
+        let sq: u64 = self
+            .lengths
+            .iter()
+            .map(|(l, c)| u64::from(*l) * u64::from(*l) * c)
+            .sum();
         sq as f64 / weight as f64
     }
 
@@ -240,7 +249,10 @@ impl SimReport {
     /// Panics if either run has zero cycles.
     #[must_use]
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
-        assert!(self.cycles > 0 && baseline.cycles > 0, "runs must have cycles");
+        assert!(
+            self.cycles > 0 && baseline.cycles > 0,
+            "runs must have cycles"
+        );
         baseline.cycles as f64 / self.cycles as f64
     }
 }
@@ -322,13 +334,17 @@ mod tests {
 
     #[test]
     fn report_derived_metrics() {
-        let mut base = SimReport::default();
-        base.cycles = 1000;
-        base.committed = 800;
-        let mut fast = SimReport::default();
-        fast.cycles = 800;
-        fast.committed = 800;
-        fast.fu_stall_cycles = 200;
+        let base = SimReport {
+            cycles: 1000,
+            committed: 800,
+            ..Default::default()
+        };
+        let fast = SimReport {
+            cycles: 800,
+            committed: 800,
+            fu_stall_cycles: 200,
+            ..Default::default()
+        };
         assert!((base.ipc() - 0.8).abs() < 1e-12);
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
         assert!((fast.fu_stall_rate() - 0.25).abs() < 1e-12);

@@ -90,7 +90,13 @@ impl TagPredictor {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "need at least one entry");
         TagPredictor {
-            entries: vec![Entry { last_is_src1: true, conf: 0 }; entries.next_power_of_two()],
+            entries: vec![
+                Entry {
+                    last_is_src1: true,
+                    conf: 0
+                };
+                entries.next_power_of_two()
+            ],
             stats: TagPredStats::default(),
         }
     }
@@ -171,7 +177,11 @@ mod tests {
         let mut p = TagPredictor::new(64);
         let mut predicted = 0;
         for i in 0..100 {
-            let actual = if i % 2 == 0 { LastArrival::Src0 } else { LastArrival::Src1 };
+            let actual = if i % 2 == 0 {
+                LastArrival::Src0
+            } else {
+                LastArrival::Src1
+            };
             match p.predict(0x20) {
                 Some(pr) => {
                     predicted += 1;
@@ -205,7 +215,10 @@ mod tests {
         }
         assert!(p.predict(0x8).is_some());
         let pr = p.predict(0x8).unwrap();
-        assert!(!p.update(0x8, pr, LastArrival::Src0), "wrong prediction scored");
+        assert!(
+            !p.update(0x8, pr, LastArrival::Src0),
+            "wrong prediction scored"
+        );
         assert_eq!(p.predict(0x8), None, "confidence must reset after a flip");
     }
 }

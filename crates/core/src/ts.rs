@@ -131,7 +131,12 @@ pub fn run_ts(
     let report = simulate(trace.iter().copied(), ts_config)?;
     let base_time = baseline_cycles as f64 * f64::from(CYCLE_PS);
     let ts_time = report.cycles as f64 * f64::from(clock_ps);
-    Ok(TsResult { clock_ps, error_rate, speedup: base_time / ts_time, cycles: report.cycles })
+    Ok(TsResult {
+        clock_ps,
+        error_rate,
+        speedup: base_time / ts_time,
+        cycles: report.cycles,
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +194,10 @@ mod tests {
         // The critical shifted ADD takes 480 ps; under a tight bound the
         // clock cannot shrink past it.
         let clock = choose_clock(&t, 0.005, 300, 10);
-        assert_eq!(clock, 480, "critical tail above the bound forbids scaling past it");
+        assert_eq!(
+            clock, 480,
+            "critical tail above the bound forbids scaling past it"
+        );
         let clock = choose_clock(&t, 0.02, 300, 10);
         assert!(clock < 480, "loose bound allows scaling: {clock}");
     }
@@ -209,8 +217,16 @@ mod tests {
         let base = simulate(t.iter().copied(), config.clone()).unwrap();
         let ts = run_ts(&t, &config, base.cycles, 0.01).unwrap();
         let max = f64::from(CYCLE_PS) / f64::from(ts.clock_ps);
-        assert!(ts.speedup > 1.0, "scaling must speed up compute-bound code: {}", ts.speedup);
-        assert!(ts.speedup <= max + 1e-9, "{} > clock ratio {max}", ts.speedup);
+        assert!(
+            ts.speedup > 1.0,
+            "scaling must speed up compute-bound code: {}",
+            ts.speedup
+        );
+        assert!(
+            ts.speedup <= max + 1e-9,
+            "{} > clock ratio {max}",
+            ts.speedup
+        );
         // The non-ALU stages cap scaling at the floor.
         assert!(ts.clock_ps >= TS_MIN_CLOCK_PS);
     }

@@ -1,0 +1,29 @@
+//! Thread-safety audit for the parallel experiment engine: the simulator
+//! stack must be shippable across `std::thread::scope` workers. These are
+//! compile-time guarantees — if anyone introduces an `Rc`, `RefCell`, or
+//! raw pointer into the simulator state, this file stops compiling and
+//! names the offending type.
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::sim::{SimError, Simulator};
+use redsoc_core::stats::SimReport;
+use redsoc_core::ts::TsResult;
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn simulator_stack_is_thread_safe() {
+    // A Simulator is moved into a worker thread whole (one simulation per
+    // job), so `Send` is the requirement; it holds no shared references,
+    // making `Sync` true as well.
+    assert_send::<Simulator>();
+
+    // Configs are cloned into every job and results are collected across
+    // the scope boundary: both directions need Send + Sync.
+    assert_send_sync::<CoreConfig>();
+    assert_send_sync::<SchedulerConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<TsResult>();
+    assert_send_sync::<SimError>();
+}

@@ -58,7 +58,10 @@ impl std::error::Error for AsmError {}
 
 impl From<ProgramError> for AsmError {
     fn from(e: ProgramError) -> Self {
-        AsmError { line: 0, message: e.to_string() }
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -136,7 +139,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 .iter()
                 .find(|(_, v)| **v == id)
                 .map_or_else(|| format!("L{}", id.index()), |(k, _)| k.clone());
-            Err(err(0, format!("label {name:?} is referenced but never defined")))
+            Err(err(
+                0,
+                format!("label {name:?} is referenced but never defined"),
+            ))
         }
         Err(e) => Err(e.into()),
     }
@@ -151,12 +157,17 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_u32(tok: &str, ln: usize) -> Result<u32, AsmError> {
@@ -186,8 +197,13 @@ impl Assembler {
 
     fn directive_zero(&mut self, rest: &str, ln: usize) -> Result<(), AsmError> {
         let mut it = rest.split_whitespace();
-        let name = it.next().ok_or_else(|| err(ln, ".zero needs a symbol name"))?;
-        let len = parse_u32(it.next().ok_or_else(|| err(ln, ".zero needs a length"))?, ln)?;
+        let name = it
+            .next()
+            .ok_or_else(|| err(ln, ".zero needs a symbol name"))?;
+        let len = parse_u32(
+            it.next().ok_or_else(|| err(ln, ".zero needs a length"))?,
+            ln,
+        )?;
         if !is_ident(name) {
             return Err(err(ln, format!("invalid symbol name {name:?}")));
         }
@@ -200,7 +216,9 @@ impl Assembler {
 
     fn directive_words(&mut self, rest: &str, ln: usize) -> Result<(), AsmError> {
         let mut it = rest.split_whitespace();
-        let name = it.next().ok_or_else(|| err(ln, ".words needs a symbol name"))?;
+        let name = it
+            .next()
+            .ok_or_else(|| err(ln, ".words needs a symbol name"))?;
         if !is_ident(name) {
             return Err(err(ln, format!("invalid symbol name {name:?}")));
         }
@@ -219,7 +237,9 @@ impl Assembler {
     fn reg(&self, tok: &str, ln: usize) -> Result<ArchReg, AsmError> {
         let t = tok.trim().to_ascii_lowercase();
         let (class, num) = t.split_at(1);
-        let n: u8 = num.parse().map_err(|_| err(ln, format!("bad register {tok:?}")))?;
+        let n: u8 = num
+            .parse()
+            .map_err(|_| err(ln, format!("bad register {tok:?}")))?;
         match class {
             "r" if n < 32 => Ok(ArchReg::int(n)),
             "v" if n < 16 => Ok(ArchReg::simd(n)),
@@ -239,7 +259,10 @@ impl Assembler {
                 .copied()
                 .ok_or_else(|| err(ln, format!("unknown symbol {name:?}")))
         } else {
-            Err(err(ln, format!("expected immediate or =symbol, got {tok:?}")))
+            Err(err(
+                ln,
+                format!("expected immediate or =symbol, got {tok:?}"),
+            ))
         }
     }
 
@@ -270,11 +293,21 @@ impl Assembler {
                     "ror" => ShiftKind::Ror,
                     other => return Err(err(ln, format!("unknown shift {other:?}"))),
                 };
-                let amount = self.imm(it.next().ok_or_else(|| err(ln, "missing shift amount"))?, ln)?;
+                let amount = self.imm(
+                    it.next().ok_or_else(|| err(ln, "missing shift amount"))?,
+                    ln,
+                )?;
                 if !(1..32).contains(&amount) {
-                    return Err(err(ln, format!("shift amount {amount} out of range 1..=31")));
+                    return Err(err(
+                        ln,
+                        format!("shift amount {amount} out of range 1..=31"),
+                    ));
                 }
-                Ok(Operand2::ShiftedReg { reg, kind, amount: amount as u8 })
+                Ok(Operand2::ShiftedReg {
+                    reg,
+                    kind,
+                    amount: amount as u8,
+                })
             }
             _ => Err(err(ln, "malformed operand 2")),
         }
@@ -329,7 +362,13 @@ impl Assembler {
             let dst = asm.reg(ops[0], ln)?;
             let src1 = asm.reg(ops[1], ln)?;
             let op2 = asm.operand2(&ops[2..], ln)?;
-            asm.builder.push(Instr::Alu { op, dst: Some(dst), src1: Some(src1), op2, set_flags });
+            asm.builder.push(Instr::Alu {
+                op,
+                dst: Some(dst),
+                src1: Some(src1),
+                op2,
+                set_flags,
+            });
             Ok(())
         };
 
@@ -358,8 +397,18 @@ impl Assembler {
                 }
                 let dst = self.reg(ops[0], ln)?;
                 let op2 = self.operand2(&ops[1..], ln)?;
-                let op = if mnemonic == "mov" { AluOp::Mov } else { AluOp::Mvn };
-                self.builder.push(Instr::Alu { op, dst: Some(dst), src1: None, op2, set_flags: false });
+                let op = if mnemonic == "mov" {
+                    AluOp::Mov
+                } else {
+                    AluOp::Mvn
+                };
+                self.builder.push(Instr::Alu {
+                    op,
+                    dst: Some(dst),
+                    src1: None,
+                    op2,
+                    set_flags: false,
+                });
                 Ok(())
             }
             "cmp" | "cmn" | "tst" | "teq" => {
@@ -374,7 +423,13 @@ impl Assembler {
                     "tst" => AluOp::Tst,
                     _ => AluOp::Teq,
                 };
-                self.builder.push(Instr::Alu { op, dst: None, src1: Some(src1), op2, set_flags: true });
+                self.builder.push(Instr::Alu {
+                    op,
+                    dst: None,
+                    src1: Some(src1),
+                    op2,
+                    set_flags: true,
+                });
                 Ok(())
             }
             "mul" | "udiv" | "sdiv" => {
@@ -433,7 +488,11 @@ impl Assembler {
                 if ops.len() != 2 {
                     return Err(err(ln, format!("{mnemonic} needs dst, src")));
                 }
-                let op = if mnemonic == "fcvt" { FpOp::Fcvt } else { FpOp::Ftoi };
+                let op = if mnemonic == "fcvt" {
+                    FpOp::Fcvt
+                } else {
+                    FpOp::Ftoi
+                };
                 self.builder.push(Instr::Fp {
                     op,
                     dst: self.reg(ops[0], ln)?,
@@ -454,7 +513,12 @@ impl Assembler {
                     "vldr" => MemWidth::B8,
                     _ => MemWidth::B4,
                 };
-                self.builder.push(Instr::Load { dst, base, offset, width });
+                self.builder.push(Instr::Load {
+                    dst,
+                    base,
+                    offset,
+                    width,
+                });
                 Ok(())
             }
             "str" | "strb" | "strh" | "vstr" => {
@@ -469,7 +533,12 @@ impl Assembler {
                     "vstr" => MemWidth::B8,
                     _ => MemWidth::B4,
                 };
-                self.builder.push(Instr::Store { src, base, offset, width });
+                self.builder.push(Instr::Store {
+                    src,
+                    base,
+                    offset,
+                    width,
+                });
                 Ok(())
             }
             "b" | "beq" | "bne" | "bge" | "blt" | "bgt" | "ble" | "bhs" | "blo" => {
@@ -499,7 +568,13 @@ impl Assembler {
         }
     }
 
-    fn simd_instruction(&mut self, base: &str, ty: SimdType, ops: &[&str], ln: usize) -> Result<(), AsmError> {
+    fn simd_instruction(
+        &mut self,
+        base: &str,
+        ty: SimdType,
+        ops: &[&str],
+        ln: usize,
+    ) -> Result<(), AsmError> {
         let op = match base {
             "vadd" => SimdOp::Vadd,
             "vsub" => SimdOp::Vsub,
@@ -522,7 +597,14 @@ impl Assembler {
                 }
                 let dst = self.reg(ops[0], ln)?;
                 let v = self.imm(ops[1], ln)?;
-                self.builder.push(Instr::Simd { op, ty, dst, src1: None, src2: None, imm: v as u8 });
+                self.builder.push(Instr::Simd {
+                    op,
+                    ty,
+                    dst,
+                    src1: None,
+                    src2: None,
+                    imm: v as u8,
+                });
             }
             SimdOp::Vshl | SimdOp::Vshr => {
                 if ops.len() != 3 {
@@ -531,7 +613,14 @@ impl Assembler {
                 let dst = self.reg(ops[0], ln)?;
                 let src1 = self.reg(ops[1], ln)?;
                 let v = self.imm(ops[2], ln)?;
-                self.builder.push(Instr::Simd { op, ty, dst, src1: Some(src1), src2: None, imm: v as u8 });
+                self.builder.push(Instr::Simd {
+                    op,
+                    ty,
+                    dst,
+                    src1: Some(src1),
+                    src2: None,
+                    imm: v as u8,
+                });
             }
             _ => {
                 if ops.len() != 3 {
@@ -540,7 +629,14 @@ impl Assembler {
                 let dst = self.reg(ops[0], ln)?;
                 let src1 = self.reg(ops[1], ln)?;
                 let src2 = self.reg(ops[2], ln)?;
-                self.builder.push(Instr::Simd { op, ty, dst, src1: Some(src1), src2: Some(src2), imm: 0 });
+                self.builder.push(Instr::Simd {
+                    op,
+                    ty,
+                    dst,
+                    src1: Some(src1),
+                    src2: Some(src2),
+                    imm: 0,
+                });
             }
         }
         Ok(())

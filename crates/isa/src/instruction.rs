@@ -168,7 +168,9 @@ impl Instr {
                     s.push(ArchReg::flags());
                 }
             }
-            Instr::MulDiv { src1, src2, acc, .. } => {
+            Instr::MulDiv {
+                src1, src2, acc, ..
+            } => {
                 s.push(src1);
                 s.push(src2);
                 if let Some(a) = acc {
@@ -181,7 +183,13 @@ impl Instr {
                     s.push(r);
                 }
             }
-            Instr::Simd { op, dst, src1, src2, .. } => {
+            Instr::Simd {
+                op,
+                dst,
+                src1,
+                src2,
+                ..
+            } => {
                 if let Some(r) = src1 {
                     s.push(r);
                 }
@@ -258,7 +266,13 @@ impl Instr {
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Instr::Alu { op, dst, src1, op2, set_flags } => {
+            Instr::Alu {
+                op,
+                dst,
+                src1,
+                op2,
+                set_flags,
+            } => {
                 let s = if set_flags && op.has_dst() { "S" } else { "" };
                 write!(f, "{op}{s} ")?;
                 if let Some(d) = dst {
@@ -269,21 +283,39 @@ impl fmt::Display for Instr {
                 }
                 write!(f, "{op2}")
             }
-            Instr::MulDiv { op, dst, src1, src2, acc } => {
+            Instr::MulDiv {
+                op,
+                dst,
+                src1,
+                src2,
+                acc,
+            } => {
                 write!(f, "{op:?} {dst}, {src1}, {src2}")?;
                 if let Some(a) = acc {
                     write!(f, ", {a}")?;
                 }
                 Ok(())
             }
-            Instr::Fp { op, dst, src1, src2 } => {
+            Instr::Fp {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{op:?} {dst}, {src1}")?;
                 if let Some(r) = src2 {
                     write!(f, ", {r}")?;
                 }
                 Ok(())
             }
-            Instr::Simd { op, ty, dst, src1, src2, imm } => {
+            Instr::Simd {
+                op,
+                ty,
+                dst,
+                src1,
+                src2,
+                imm,
+            } => {
                 write!(f, "{op:?}.{ty} {dst}")?;
                 if let Some(r) = src1 {
                     write!(f, ", {r}")?;
@@ -296,10 +328,20 @@ impl fmt::Display for Instr {
                 }
                 Ok(())
             }
-            Instr::Load { dst, base, offset, width } => {
+            Instr::Load {
+                dst,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "LDR.{} {dst}, [{base}, #{offset}]", width.bytes())
             }
-            Instr::Store { src, base, offset, width } => {
+            Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "STR.{} {src}, [{base}, #{offset}]", width.bytes())
             }
             Instr::Branch { cond, target } => write!(f, "B{cond:?} L{}", target.0),
@@ -362,7 +404,12 @@ mod tests {
 
     #[test]
     fn store_reads_data_and_base() {
-        let i = Instr::Store { src: r(3), base: r(4), offset: -8, width: MemWidth::B4 };
+        let i = Instr::Store {
+            src: r(3),
+            base: r(4),
+            offset: -8,
+            width: MemWidth::B4,
+        };
         let s = i.srcs();
         assert!(s.contains(r(3)) && s.contains(r(4)));
         assert_eq!(i.dst(), None);
@@ -372,17 +419,35 @@ mod tests {
 
     #[test]
     fn conditional_branch_reads_flags() {
-        let b = Instr::Branch { cond: Cond::Ne, target: LabelId(0) };
+        let b = Instr::Branch {
+            cond: Cond::Ne,
+            target: LabelId(0),
+        };
         assert!(b.srcs().contains(ArchReg::flags()));
-        let ub = Instr::Branch { cond: Cond::Al, target: LabelId(0) };
+        let ub = Instr::Branch {
+            cond: Cond::Al,
+            target: LabelId(0),
+        };
         assert!(ub.srcs().is_empty());
     }
 
     #[test]
     fn exec_classes() {
-        let mul = Instr::MulDiv { op: MulOp::Mul, dst: r(0), src1: r(1), src2: r(2), acc: None };
+        let mul = Instr::MulDiv {
+            op: MulOp::Mul,
+            dst: r(0),
+            src1: r(1),
+            src2: r(2),
+            acc: None,
+        };
         assert_eq!(mul.exec_class(), ExecClass::IntMul);
-        let div = Instr::MulDiv { op: MulOp::Udiv, dst: r(0), src1: r(1), src2: r(2), acc: None };
+        let div = Instr::MulDiv {
+            op: MulOp::Udiv,
+            dst: r(0),
+            src1: r(1),
+            src2: r(2),
+            acc: None,
+        };
         assert_eq!(div.exec_class(), ExecClass::IntDiv);
         let vadd = Instr::Simd {
             op: SimdOp::Vadd,

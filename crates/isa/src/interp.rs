@@ -55,7 +55,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::MemOutOfBounds { addr, width, pc } => {
-                write!(f, "out-of-bounds {width}-byte access at {addr:#x} (pc {pc})")
+                write!(
+                    f,
+                    "out-of-bounds {width}-byte access at {addr:#x} (pc {pc})"
+                )
             }
             ExecError::RanOffEnd { pc } => write!(f, "execution ran off the end at pc {pc}"),
             ExecError::DivByZero { pc } => write!(f, "division by zero at pc {pc}"),
@@ -236,7 +239,13 @@ impl<'p> Interpreter<'p> {
         Self::adc32(a, !b, cin)
     }
 
-    fn exec_alu(&mut self, op: AluOp, src1: Option<ArchReg>, op2: Operand2, set_flags: bool) -> (Option<u32>, u8) {
+    fn exec_alu(
+        &mut self,
+        op: AluOp,
+        src1: Option<ArchReg>,
+        op2: Operand2,
+        set_flags: bool,
+    ) -> (Option<u32>, u8) {
         let a = src1.map_or(0, |r| self.regs[r.index()] as u32);
         let b = self.op2_value(op2);
         let cin = self.carry();
@@ -329,22 +338,44 @@ impl<'p> Interpreter<'p> {
 
     fn simd_lanes(&self, value: u64, ty: SimdType) -> Vec<u64> {
         let bits = ty.lane_bits();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        (0..ty.lanes()).map(|i| (value >> (i * bits)) & mask).collect()
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        (0..ty.lanes())
+            .map(|i| (value >> (i * bits)) & mask)
+            .collect()
     }
 
     fn simd_pack(&self, lanes: &[u64], ty: SimdType) -> u64 {
         let bits = ty.lane_bits();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         lanes
             .iter()
             .enumerate()
             .fold(0u64, |acc, (i, &l)| acc | ((l & mask) << (i as u32 * bits)))
     }
 
-    fn exec_simd(&mut self, op: SimdOp, ty: SimdType, src1: Option<ArchReg>, src2: Option<ArchReg>, imm: u8, dst: ArchReg) {
+    fn exec_simd(
+        &mut self,
+        op: SimdOp,
+        ty: SimdType,
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+        imm: u8,
+        dst: ArchReg,
+    ) {
         let bits = ty.lane_bits();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let sign = 1u64 << (bits - 1);
         let sext = |l: u64| -> i64 {
             if l & sign != 0 {
@@ -436,7 +467,13 @@ impl<'p> Interpreter<'p> {
         Ok(u64::from_le_bytes(buf))
     }
 
-    fn mem_write(&mut self, addr: u32, width: MemWidth, value: u64, pc: u32) -> Result<(), ExecError> {
+    fn mem_write(
+        &mut self,
+        addr: u32,
+        width: MemWidth,
+        value: u64,
+        pc: u32,
+    ) -> Result<(), ExecError> {
         let w = width.bytes();
         let end = addr as u64 + u64::from(w);
         if end > self.mem.len() as u64 {
@@ -471,14 +508,26 @@ impl<'p> Interpreter<'p> {
         };
         let mut next_pc = self.pc + 1;
         match instr {
-            Instr::Alu { op: aop, dst, src1, op2, set_flags } => {
+            Instr::Alu {
+                op: aop,
+                dst,
+                src1,
+                op2,
+                set_flags,
+            } => {
                 let (result, eff) = self.exec_alu(aop, src1, op2, set_flags);
                 if let (Some(d), Some(rv)) = (dst, result) {
                     self.regs[d.index()] = u64::from(rv);
                 }
                 op.eff_bits = eff;
             }
-            Instr::MulDiv { op: mop, dst, src1, src2, acc } => {
+            Instr::MulDiv {
+                op: mop,
+                dst,
+                src1,
+                src2,
+                acc,
+            } => {
                 let a = self.regs[src1.index()] as u32;
                 let b = self.regs[src2.index()] as u32;
                 let r = match mop {
@@ -505,14 +554,31 @@ impl<'p> Interpreter<'p> {
                 self.regs[dst.index()] = u64::from(r);
                 op.eff_bits = significant_bits_max(&[a, b, r]);
             }
-            Instr::Fp { op: fop, dst, src1, src2 } => {
+            Instr::Fp {
+                op: fop,
+                dst,
+                src1,
+                src2,
+            } => {
                 self.exec_fp(fop, src1, src2, dst);
             }
-            Instr::Simd { op: sop, ty, dst, src1, src2, imm } => {
+            Instr::Simd {
+                op: sop,
+                ty,
+                dst,
+                src1,
+                src2,
+                imm,
+            } => {
                 self.exec_simd(sop, ty, src1, src2, imm, dst);
                 op.eff_bits = ty.lane_bits() as u8;
             }
-            Instr::Load { dst, base, offset, width } => {
+            Instr::Load {
+                dst,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.regs[base.index()] as u32).wrapping_add_signed(offset);
                 match self.mem_read(addr, width, self.pc) {
                     Ok(v) => {
@@ -525,7 +591,12 @@ impl<'p> Interpreter<'p> {
                     }
                 }
             }
-            Instr::Store { src, base, offset, width } => {
+            Instr::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = (self.regs[base.index()] as u32).wrapping_add_signed(offset);
                 let v = self.regs[src.index()];
                 if let Err(e) = self.mem_write(addr, width, v, self.pc) {
@@ -689,7 +760,10 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let mut i = Interpreter::new(&p);
-        assert!(matches!(i.run(100).unwrap_err(), ExecError::DivByZero { .. }));
+        assert!(matches!(
+            i.run(100).unwrap_err(),
+            ExecError::DivByZero { .. }
+        ));
     }
 
     #[test]
@@ -709,7 +783,10 @@ mod tests {
         assert_eq!((lanes >> 16) & 0xFFFF, 22);
         assert_eq!((lanes >> 32) & 0xFFFF, 33);
         assert_eq!((lanes >> 48) & 0xFFFF, 44);
-        let simd_op = t.iter().find(|o| matches!(o.instr, Instr::Simd { .. })).unwrap();
+        let simd_op = t
+            .iter()
+            .find(|o| matches!(o.instr, Instr::Simd { .. }))
+            .unwrap();
         assert_eq!(simd_op.eff_bits, 16);
     }
 
@@ -766,8 +843,16 @@ mod tests {
             .iter()
             .filter(|o| matches!(o.instr, Instr::Alu { op: AluOp::Add, .. }))
             .collect();
-        assert!(adds[0].eff_bits <= 8, "narrow add should be narrow: {}", adds[0].eff_bits);
-        assert!(adds[1].eff_bits >= 24, "wide add should be wide: {}", adds[1].eff_bits);
+        assert!(
+            adds[0].eff_bits <= 8,
+            "narrow add should be narrow: {}",
+            adds[0].eff_bits
+        );
+        assert!(
+            adds[1].eff_bits >= 24,
+            "wide add should be wide: {}",
+            adds[1].eff_bits
+        );
     }
 
     #[test]

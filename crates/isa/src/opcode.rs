@@ -112,7 +112,10 @@ impl AluOp {
     /// shifter as its primary datapath).
     #[must_use]
     pub fn is_shift(self) -> bool {
-        matches!(self, AluOp::Lsr | AluOp::Asr | AluOp::Lsl | AluOp::Ror | AluOp::Rrx)
+        matches!(
+            self,
+            AluOp::Lsr | AluOp::Asr | AluOp::Lsl | AluOp::Ror | AluOp::Rrx
+        )
     }
 
     /// Whether the operation writes a destination register (compare/test

@@ -63,7 +63,10 @@ impl Operand2 {
     /// Panics if `amount` is 0 or ≥ 32.
     #[must_use]
     pub fn shifted(reg: ArchReg, kind: ShiftKind, amount: u8) -> Self {
-        assert!((1..32).contains(&amount), "shift amount {amount} out of range 1..=31");
+        assert!(
+            (1..32).contains(&amount),
+            "shift amount {amount} out of range 1..=31"
+        );
         Operand2::ShiftedReg { reg, kind, amount }
     }
 
@@ -132,8 +135,14 @@ mod tests {
     #[test]
     fn shifter_semantics() {
         let r = ArchReg::int(0);
-        assert_eq!(Operand2::shifted(r, ShiftKind::Lsl, 4).apply_shift(0x1), 0x10);
-        assert_eq!(Operand2::shifted(r, ShiftKind::Lsr, 4).apply_shift(0x100), 0x10);
+        assert_eq!(
+            Operand2::shifted(r, ShiftKind::Lsl, 4).apply_shift(0x1),
+            0x10
+        );
+        assert_eq!(
+            Operand2::shifted(r, ShiftKind::Lsr, 4).apply_shift(0x100),
+            0x10
+        );
         assert_eq!(
             Operand2::shifted(r, ShiftKind::Asr, 1).apply_shift(0x8000_0000),
             0xC000_0000
@@ -170,6 +179,9 @@ mod tests {
     #[test]
     fn conversions() {
         assert_eq!(Operand2::from(9u32), Operand2::Imm(9));
-        assert_eq!(Operand2::from(ArchReg::int(2)), Operand2::Reg(ArchReg::int(2)));
+        assert_eq!(
+            Operand2::from(ArchReg::int(2)),
+            Operand2::Reg(ArchReg::int(2))
+        );
     }
 }

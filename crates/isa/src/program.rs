@@ -59,8 +59,14 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::UnboundLabel(l) => write!(f, "label L{} was never bound", l.index()),
-            ProgramError::OutOfMemory { requested, mem_size } => {
-                write!(f, "data allocation of {requested} bytes exceeds memory size {mem_size}")
+            ProgramError::OutOfMemory {
+                requested,
+                mem_size,
+            } => {
+                write!(
+                    f,
+                    "data allocation of {requested} bytes exceeds memory size {mem_size}"
+                )
             }
             ProgramError::MissingHalt => write!(f, "program has no HALT instruction"),
         }
@@ -222,8 +228,21 @@ impl ProgramBuilder {
         self
     }
 
-    fn alu(&mut self, op: AluOp, dst: Option<ArchReg>, src1: Option<ArchReg>, op2: Operand2, s: bool) -> &mut Self {
-        self.push(Instr::Alu { op, dst, src1, op2, set_flags: s })
+    fn alu(
+        &mut self,
+        op: AluOp,
+        dst: Option<ArchReg>,
+        src1: Option<ArchReg>,
+        op2: Operand2,
+        s: bool,
+    ) -> &mut Self {
+        self.push(Instr::Alu {
+            op,
+            dst,
+            src1,
+            op2,
+            set_flags: s,
+        })
     }
 
     /// Finalise the program, validating labels and memory bounds.
@@ -406,88 +425,197 @@ impl ProgramBuilder {
 
     /// `dst = src1 * src2`.
     pub fn mul(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Self {
-        self.push(Instr::MulDiv { op: MulOp::Mul, dst, src1, src2, acc: None })
+        self.push(Instr::MulDiv {
+            op: MulOp::Mul,
+            dst,
+            src1,
+            src2,
+            acc: None,
+        })
     }
 
     /// `dst = src1 * src2 + acc`.
     pub fn mla(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg, acc: ArchReg) -> &mut Self {
-        self.push(Instr::MulDiv { op: MulOp::Mla, dst, src1, src2, acc: Some(acc) })
+        self.push(Instr::MulDiv {
+            op: MulOp::Mla,
+            dst,
+            src1,
+            src2,
+            acc: Some(acc),
+        })
     }
 
     /// Unsigned divide.
     pub fn udiv(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Self {
-        self.push(Instr::MulDiv { op: MulOp::Udiv, dst, src1, src2, acc: None })
+        self.push(Instr::MulDiv {
+            op: MulOp::Udiv,
+            dst,
+            src1,
+            src2,
+            acc: None,
+        })
     }
 
     /// Signed divide.
     pub fn sdiv(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Self {
-        self.push(Instr::MulDiv { op: MulOp::Sdiv, dst, src1, src2, acc: None })
+        self.push(Instr::MulDiv {
+            op: MulOp::Sdiv,
+            dst,
+            src1,
+            src2,
+            acc: None,
+        })
     }
 
     /// Floating-point binary operation.
     pub fn fp(&mut self, op: FpOp, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Self {
-        self.push(Instr::Fp { op, dst, src1, src2: Some(src2) })
+        self.push(Instr::Fp {
+            op,
+            dst,
+            src1,
+            src2: Some(src2),
+        })
     }
 
     /// Floating-point unary operation (converts).
     pub fn fp1(&mut self, op: FpOp, dst: ArchReg, src1: ArchReg) -> &mut Self {
-        self.push(Instr::Fp { op, dst, src1, src2: None })
+        self.push(Instr::Fp {
+            op,
+            dst,
+            src1,
+            src2: None,
+        })
     }
 
     /// SIMD lane-wise binary operation.
-    pub fn simd(&mut self, op: SimdOp, ty: SimdType, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Self {
-        self.push(Instr::Simd { op, ty, dst, src1: Some(src1), src2: Some(src2), imm: 0 })
+    pub fn simd(
+        &mut self,
+        op: SimdOp,
+        ty: SimdType,
+        dst: ArchReg,
+        src1: ArchReg,
+        src2: ArchReg,
+    ) -> &mut Self {
+        self.push(Instr::Simd {
+            op,
+            ty,
+            dst,
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+        })
     }
 
     /// SIMD lane-wise shift by immediate.
-    pub fn simd_shift(&mut self, op: SimdOp, ty: SimdType, dst: ArchReg, src1: ArchReg, imm: u8) -> &mut Self {
+    pub fn simd_shift(
+        &mut self,
+        op: SimdOp,
+        ty: SimdType,
+        dst: ArchReg,
+        src1: ArchReg,
+        imm: u8,
+    ) -> &mut Self {
         debug_assert!(matches!(op, SimdOp::Vshl | SimdOp::Vshr));
-        self.push(Instr::Simd { op, ty, dst, src1: Some(src1), src2: None, imm })
+        self.push(Instr::Simd {
+            op,
+            ty,
+            dst,
+            src1: Some(src1),
+            src2: None,
+            imm,
+        })
     }
 
     /// SIMD duplicate immediate into all lanes.
     pub fn vdup(&mut self, ty: SimdType, dst: ArchReg, imm: u8) -> &mut Self {
-        self.push(Instr::Simd { op: SimdOp::Vdup, ty, dst, src1: None, src2: None, imm })
+        self.push(Instr::Simd {
+            op: SimdOp::Vdup,
+            ty,
+            dst,
+            src1: None,
+            src2: None,
+            imm,
+        })
     }
 
     /// Word load: `dst = mem32[base + offset]`.
     pub fn ldr(&mut self, dst: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Load { dst, base, offset, width: MemWidth::B4 })
+        self.push(Instr::Load {
+            dst,
+            base,
+            offset,
+            width: MemWidth::B4,
+        })
     }
 
     /// Byte load (zero-extended).
     pub fn ldrb(&mut self, dst: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Load { dst, base, offset, width: MemWidth::B1 })
+        self.push(Instr::Load {
+            dst,
+            base,
+            offset,
+            width: MemWidth::B1,
+        })
     }
 
     /// Halfword load (zero-extended).
     pub fn ldrh(&mut self, dst: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Load { dst, base, offset, width: MemWidth::B2 })
+        self.push(Instr::Load {
+            dst,
+            base,
+            offset,
+            width: MemWidth::B2,
+        })
     }
 
     /// 64-bit SIMD load.
     pub fn vldr(&mut self, dst: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Load { dst, base, offset, width: MemWidth::B8 })
+        self.push(Instr::Load {
+            dst,
+            base,
+            offset,
+            width: MemWidth::B8,
+        })
     }
 
     /// Word store.
     pub fn str_(&mut self, src: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Store { src, base, offset, width: MemWidth::B4 })
+        self.push(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::B4,
+        })
     }
 
     /// Byte store.
     pub fn strb(&mut self, src: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Store { src, base, offset, width: MemWidth::B1 })
+        self.push(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::B1,
+        })
     }
 
     /// Halfword store.
     pub fn strh(&mut self, src: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Store { src, base, offset, width: MemWidth::B2 })
+        self.push(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::B2,
+        })
     }
 
     /// 64-bit SIMD store.
     pub fn vstr(&mut self, src: ArchReg, base: ArchReg, offset: i32) -> &mut Self {
-        self.push(Instr::Store { src, base, offset, width: MemWidth::B8 })
+        self.push(Instr::Store {
+            src,
+            base,
+            offset,
+            width: MemWidth::B8,
+        })
     }
 
     /// Terminate the program.
@@ -549,7 +677,10 @@ mod tests {
         b.mem_size(1024);
         let _ = b.alloc_zeroed(4096);
         b.halt();
-        assert!(matches!(b.build().unwrap_err(), ProgramError::OutOfMemory { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::OutOfMemory { .. }
+        ));
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl SrcSet {
 
     /// Iterate over the source registers.
     pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
-        self.regs.iter().take(self.len as usize).map(|r| r.expect("set invariant"))
+        self.regs
+            .iter()
+            .take(self.len as usize)
+            .map(|r| r.expect("set invariant"))
     }
 
     /// Whether `reg` appears in the set.

@@ -39,7 +39,15 @@ impl DynOp {
     /// convenient in tests and synthetic generators.
     #[must_use]
     pub fn simple(seq: u64, pc: u32, instr: Instr) -> Self {
-        DynOp { seq, pc, instr, eff_addr: None, taken: false, target_pc: 0, eff_bits: 32 }
+        DynOp {
+            seq,
+            pc,
+            instr,
+            eff_addr: None,
+            taken: false,
+            target_pc: 0,
+            eff_bits: 32,
+        }
     }
 }
 
@@ -60,7 +68,11 @@ pub fn significant_bits(value: u32) -> u8 {
 /// Effective width across several values: the widest of them.
 #[must_use]
 pub fn significant_bits_max(values: &[u32]) -> u8 {
-    values.iter().map(|&v| significant_bits(v)).max().unwrap_or(1)
+    values
+        .iter()
+        .map(|&v| significant_bits(v))
+        .max()
+        .unwrap_or(1)
 }
 
 /// A fully materialised trace, for tests and short-running analyses.
@@ -107,7 +119,9 @@ impl Trace {
 
 impl FromIterator<DynOp> for Trace {
     fn from_iter<T: IntoIterator<Item = DynOp>>(iter: T) -> Self {
-        Trace { ops: iter.into_iter().collect() }
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 

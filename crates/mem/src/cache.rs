@@ -20,13 +20,21 @@ impl CacheConfig {
     /// 64 KiB, 4-way, 64 B lines — the paper's L1 (Table I).
     #[must_use]
     pub fn l1_64k() -> Self {
-        CacheConfig { size_bytes: 64 << 10, ways: 4, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// 2 MiB, 16-way, 64 B lines — the paper's L2 (Table I).
     #[must_use]
     pub fn l2_2m() -> Self {
-        CacheConfig { size_bytes: 2 << 20, ways: 16, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 2 << 20,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets.
@@ -88,10 +96,16 @@ impl Cache {
     /// non-power-of-two line size).
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways >= 1, "cache needs at least one way");
         assert!(config.sets() >= 1, "cache needs at least one set");
-        assert!(config.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             config,
             lines: vec![Line::default(); (config.sets() * config.ways) as usize],
@@ -129,7 +143,9 @@ impl Cache {
         let tag = self.tag_of(addr);
         let w = self.config.ways as usize;
         let base = set as usize * w;
-        self.lines[base..base + w].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + w]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Demand access. Returns `true` on hit. On miss the line is filled
@@ -179,7 +195,12 @@ impl Cache {
             let ways = self.set_slice(set);
             let l = &mut ways[victim];
             let was_dirty = l.valid && l.dirty;
-            *l = Line { valid: true, dirty: is_write, tag, lru: tick };
+            *l = Line {
+                valid: true,
+                dirty: is_write,
+                tag,
+                lru: tick,
+            };
             was_dirty
         };
         if evicted_dirty {
@@ -201,7 +222,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 16 B lines = 128 B.
-        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 16,
+        })
     }
 
     #[test]
@@ -266,6 +291,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 24 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 24,
+        });
     }
 }

@@ -38,7 +38,11 @@ pub struct MemLatencies {
 impl Default for MemLatencies {
     fn default() -> Self {
         // A57-class @2 GHz: 4-cycle L1, 16-cycle L2, 120-cycle DRAM.
-        MemLatencies { l1_cycles: 4, l2_cycles: 16, mem_cycles: 120 }
+        MemLatencies {
+            l1_cycles: 4,
+            l2_cycles: 16,
+            mem_cycles: 120,
+        }
     }
 }
 
@@ -90,20 +94,34 @@ impl MemoryHierarchy {
     /// The paper's Table I memory system.
     #[must_use]
     pub fn paper_default() -> Self {
-        MemoryHierarchy::new(CacheConfig::l1_64k(), CacheConfig::l2_2m(), MemLatencies::default(), true)
+        MemoryHierarchy::new(
+            CacheConfig::l1_64k(),
+            CacheConfig::l2_2m(),
+            MemLatencies::default(),
+            true,
+        )
     }
 
     /// Perform a demand access at `addr` from load/store PC `pc`.
     pub fn access(&mut self, pc: u32, addr: u64, is_write: bool) -> AccessResult {
         let result = if self.l1.access(addr, is_write) {
             self.stats.l1_hits += 1;
-            AccessResult { outcome: AccessOutcome::L1Hit, latency_cycles: self.latencies.l1_cycles }
+            AccessResult {
+                outcome: AccessOutcome::L1Hit,
+                latency_cycles: self.latencies.l1_cycles,
+            }
         } else if self.l2.access(addr, is_write) {
             self.stats.l2_hits += 1;
-            AccessResult { outcome: AccessOutcome::L2Hit, latency_cycles: self.latencies.l2_cycles }
+            AccessResult {
+                outcome: AccessOutcome::L2Hit,
+                latency_cycles: self.latencies.l2_cycles,
+            }
         } else {
             self.stats.mem_accesses += 1;
-            AccessResult { outcome: AccessOutcome::Memory, latency_cycles: self.latencies.mem_cycles }
+            AccessResult {
+                outcome: AccessOutcome::Memory,
+                latency_cycles: self.latencies.mem_cycles,
+            }
         };
         // Train the prefetcher on loads only; prefetches fill L2 and L1.
         if !is_write {
@@ -166,7 +184,11 @@ mod tests {
     #[test]
     fn l2_hit_after_l1_eviction() {
         // Small L1 (4 sets) so we can evict easily; big L2 retains.
-        let l1 = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+        let l1 = CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut h = MemoryHierarchy::new(l1, CacheConfig::l2_2m(), MemLatencies::default(), false);
         h.access(0, 0x0000, false);
         // Evict set 0 of L1 by touching 2 more lines that map there
@@ -192,7 +214,10 @@ mod tests {
             lat_pf += u64::from(with_pf.access(0x40, i * 64, false).latency_cycles);
             lat_no += u64::from(without.access(0x40, i * 64, false).latency_cycles);
         }
-        assert!(lat_pf < lat_no, "prefetching must reduce streaming latency: {lat_pf} vs {lat_no}");
+        assert!(
+            lat_pf < lat_no,
+            "prefetching must reduce streaming latency: {lat_pf} vs {lat_no}"
+        );
     }
 
     #[test]

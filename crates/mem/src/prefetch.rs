@@ -24,7 +24,13 @@ struct Entry {
 
 impl Default for Entry {
     fn default() -> Self {
-        Entry { valid: false, pc_tag: 0, last_addr: 0, stride: 0, state: State::Initial }
+        Entry {
+            valid: false,
+            pc_tag: 0,
+            last_addr: 0,
+            stride: 0,
+            state: State::Initial,
+        }
     }
 }
 
@@ -77,7 +83,13 @@ impl StridePrefetcher {
         let e = &mut self.entries[slot];
         let mut out = Vec::new();
         if !e.valid || e.pc_tag != pc {
-            *e = Entry { valid: true, pc_tag: pc, last_addr: addr, stride: 0, state: State::Initial };
+            *e = Entry {
+                valid: true,
+                pc_tag: pc,
+                last_addr: addr,
+                stride: 0,
+                state: State::Initial,
+            };
             return out;
         }
         let stride = addr as i64 - e.last_addr as i64;
@@ -134,7 +146,10 @@ mod tests {
         p.train(0x40, 1000);
         p.train(0x40, 1064);
         assert!(!p.train(0x40, 1128).is_empty());
-        assert!(p.train(0x40, 5000).is_empty(), "broken stride stops prefetching");
+        assert!(
+            p.train(0x40, 5000).is_empty(),
+            "broken stride stops prefetching"
+        );
         assert!(p.train(0x40, 5008).is_empty(), "transient again");
         assert_eq!(p.train(0x40, 5016), vec![5024]);
     }

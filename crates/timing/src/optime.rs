@@ -80,7 +80,10 @@ pub fn alu_compute_ps(op: AluOp, uses_shifter: bool, eff_bits: u8) -> u32 {
 /// logical operations are width-insensitive.
 #[must_use]
 pub fn simd_compute_ps(op: SimdOp, ty: SimdType) -> u32 {
-    debug_assert!(op.is_single_cycle(), "multi-cycle SIMD ops are not single-cycle timed");
+    debug_assert!(
+        op.is_single_cycle(),
+        "multi-cycle SIMD ops are not single-cycle timed"
+    );
     // SIMD datapath overhead (operand muxing / lane steering) on top of the
     // per-lane compute.
     const LANE_OVERHEAD_PS: u32 = 30;
@@ -138,7 +141,14 @@ pub struct MultiCycleLatencies {
 
 impl Default for MultiCycleLatencies {
     fn default() -> Self {
-        MultiCycleLatencies { int_mul: 3, int_div: 12, fp_add: 4, fp_mul: 4, fp_div: 10, simd_mul: 4 }
+        MultiCycleLatencies {
+            int_mul: 3,
+            int_div: 12,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 10,
+            simd_mul: 4,
+        }
     }
 }
 
@@ -161,7 +171,10 @@ mod tests {
         let sub_ror = alu_compute_ps(AluOp::Sub, true, 32);
         assert!(add_lsr >= 480);
         assert!(sub_ror >= 490);
-        assert!(sub_ror <= CYCLE_PS, "datapath must close timing at one cycle");
+        assert!(
+            sub_ror <= CYCLE_PS,
+            "datapath must close timing at one cycle"
+        );
     }
 
     #[test]

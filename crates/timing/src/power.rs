@@ -19,14 +19,38 @@ pub struct DvfsPoint {
 
 /// Cortex-A57 (Exynos 5433) operating points, low to high.
 pub const A57_POINTS: [DvfsPoint; 8] = [
-    DvfsPoint { freq_ghz: 0.7, voltage_v: 0.90 },
-    DvfsPoint { freq_ghz: 0.8, voltage_v: 0.925 },
-    DvfsPoint { freq_ghz: 1.0, voltage_v: 0.9625 },
-    DvfsPoint { freq_ghz: 1.2, voltage_v: 1.0 },
-    DvfsPoint { freq_ghz: 1.4, voltage_v: 1.0375 },
-    DvfsPoint { freq_ghz: 1.6, voltage_v: 1.0875 },
-    DvfsPoint { freq_ghz: 1.8, voltage_v: 1.15 },
-    DvfsPoint { freq_ghz: 1.9, voltage_v: 1.2125 },
+    DvfsPoint {
+        freq_ghz: 0.7,
+        voltage_v: 0.90,
+    },
+    DvfsPoint {
+        freq_ghz: 0.8,
+        voltage_v: 0.925,
+    },
+    DvfsPoint {
+        freq_ghz: 1.0,
+        voltage_v: 0.9625,
+    },
+    DvfsPoint {
+        freq_ghz: 1.2,
+        voltage_v: 1.0,
+    },
+    DvfsPoint {
+        freq_ghz: 1.4,
+        voltage_v: 1.0375,
+    },
+    DvfsPoint {
+        freq_ghz: 1.6,
+        voltage_v: 1.0875,
+    },
+    DvfsPoint {
+        freq_ghz: 1.8,
+        voltage_v: 1.15,
+    },
+    DvfsPoint {
+        freq_ghz: 1.9,
+        voltage_v: 1.2125,
+    },
 ];
 
 /// A voltage/frequency curve with linear interpolation between measured
@@ -47,9 +71,14 @@ impl DvfsCurve {
     pub fn new(points: &[DvfsPoint]) -> Self {
         assert!(points.len() >= 2, "need at least two operating points");
         for w in points.windows(2) {
-            assert!(w[0].freq_ghz < w[1].freq_ghz, "points must be sorted by frequency");
+            assert!(
+                w[0].freq_ghz < w[1].freq_ghz,
+                "points must be sorted by frequency"
+            );
         }
-        DvfsCurve { points: points.to_vec() }
+        DvfsCurve {
+            points: points.to_vec(),
+        }
     }
 
     /// The Cortex-A57 curve used by the paper.
@@ -151,8 +180,14 @@ mod tests {
     #[should_panic(expected = "sorted by frequency")]
     fn unsorted_points_rejected() {
         let _ = DvfsCurve::new(&[
-            DvfsPoint { freq_ghz: 1.0, voltage_v: 1.0 },
-            DvfsPoint { freq_ghz: 0.5, voltage_v: 0.9 },
+            DvfsPoint {
+                freq_ghz: 1.0,
+                voltage_v: 1.0,
+            },
+            DvfsPoint {
+                freq_ghz: 0.5,
+                voltage_v: 0.9,
+            },
         ]);
     }
 }

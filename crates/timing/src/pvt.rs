@@ -82,7 +82,8 @@ impl PvtModel {
             self.current_epoch = epoch;
             if self.step_ps > 0 {
                 let r = self.next_rand();
-                let delta = (r % (2 * u64::from(self.step_ps) + 1)) as i64 - i64::from(self.step_ps);
+                let delta =
+                    (r % (2 * u64::from(self.step_ps) + 1)) as i64 - i64::from(self.step_ps);
                 let next = i64::from(self.current_ps) + delta;
                 self.current_ps = next.clamp(0, i64::from(self.max_ps)) as u32;
             }
@@ -118,7 +119,10 @@ mod tests {
         for e in 1..200u64 {
             let g = m.guard_band_ps(e * EPOCH_CYCLES);
             assert!(g <= 50, "guard band {g} exceeds bound");
-            assert!((i64::from(g) - i64::from(prev)).unsigned_abs() <= 5, "step too large");
+            assert!(
+                (i64::from(g) - i64::from(prev)).unsigned_abs() <= 5,
+                "step too large"
+            );
             prev = g;
         }
     }
@@ -128,7 +132,10 @@ mod tests {
         let mut a = PvtModel::nominal();
         let mut b = PvtModel::nominal();
         for e in 0..50u64 {
-            assert_eq!(a.guard_band_ps(e * EPOCH_CYCLES), b.guard_band_ps(e * EPOCH_CYCLES));
+            assert_eq!(
+                a.guard_band_ps(e * EPOCH_CYCLES),
+                b.guard_band_ps(e * EPOCH_CYCLES)
+            );
         }
     }
 }

@@ -41,7 +41,12 @@ pub enum WidthClass {
 
 impl WidthClass {
     /// All width classes, narrowest first.
-    pub const ALL: [WidthClass; 4] = [WidthClass::W8, WidthClass::W16, WidthClass::W24, WidthClass::W32];
+    pub const ALL: [WidthClass; 4] = [
+        WidthClass::W8,
+        WidthClass::W16,
+        WidthClass::W24,
+        WidthClass::W32,
+    ];
 
     /// Classify an effective bit count.
     #[must_use]
@@ -108,7 +113,9 @@ impl SlackBucket {
     pub fn index(self) -> usize {
         match self {
             SlackBucket::Logic { shift } => usize::from(shift),
-            SlackBucket::Arith { shift, width } => 2 + usize::from(shift) * 4 + width.code() as usize,
+            SlackBucket::Arith { shift, width } => {
+                2 + usize::from(shift) * 4 + width.code() as usize
+            }
             SlackBucket::Simd { ty } => 10 + ty.type_code() as usize,
         }
     }
@@ -139,9 +146,7 @@ impl SlackBucket {
     pub fn lut_address(self) -> u8 {
         match self {
             SlackBucket::Logic { shift } => (u8::from(shift)) << 3,
-            SlackBucket::Arith { shift, width } => {
-                (1 << 4) | (u8::from(shift) << 3) | width.code()
-            }
+            SlackBucket::Arith { shift, width } => (1 << 4) | (u8::from(shift) << 3) | width.code(),
             SlackBucket::Simd { ty } => (1 << 2) | ty.type_code(),
         }
     }
@@ -158,7 +163,10 @@ impl SlackBucket {
             Instr::Alu { op, .. } => {
                 let shift = instr.uses_shifter();
                 if op.is_arith() {
-                    Some(SlackBucket::Arith { shift, width: predicted_width })
+                    Some(SlackBucket::Arith {
+                        shift,
+                        width: predicted_width,
+                    })
                 } else {
                     Some(SlackBucket::Logic { shift })
                 }
@@ -312,9 +320,14 @@ mod tests {
             for bits in 1..=32u8 {
                 let width = WidthClass::from_bits(bits);
                 let bucket = if op.is_arith() {
-                    SlackBucket::Arith { shift: false, width }
+                    SlackBucket::Arith {
+                        shift: false,
+                        width,
+                    }
                 } else {
-                    SlackBucket::Logic { shift: op.is_shift() }
+                    SlackBucket::Logic {
+                        shift: op.is_shift(),
+                    }
                 };
                 assert!(
                     alu_compute_ps(op, op.is_shift(), bits) <= lut.compute_ps(bucket),
@@ -333,16 +346,29 @@ mod tests {
     #[test]
     fn narrow_arith_has_more_slack_than_wide() {
         let lut = SlackLut::new();
-        let narrow = lut.slack_ps(SlackBucket::Arith { shift: false, width: WidthClass::W8 });
-        let wide = lut.slack_ps(SlackBucket::Arith { shift: false, width: WidthClass::W32 });
+        let narrow = lut.slack_ps(SlackBucket::Arith {
+            shift: false,
+            width: WidthClass::W8,
+        });
+        let wide = lut.slack_ps(SlackBucket::Arith {
+            shift: false,
+            width: WidthClass::W32,
+        });
         assert!(narrow > wide);
     }
 
     #[test]
     fn shifted_wide_arith_has_minimal_slack() {
         let lut = SlackLut::new();
-        let b = SlackBucket::Arith { shift: true, width: WidthClass::W32 };
-        assert_eq!(lut.compute_ps(b), CYCLE_PS, "critical bucket defines the clock");
+        let b = SlackBucket::Arith {
+            shift: true,
+            width: WidthClass::W32,
+        };
+        assert_eq!(
+            lut.compute_ps(b),
+            CYCLE_PS,
+            "critical bucket defines the clock"
+        );
     }
 
     #[test]
@@ -356,7 +382,10 @@ mod tests {
         };
         assert_eq!(
             SlackBucket::classify(&add, WidthClass::W16),
-            Some(SlackBucket::Arith { shift: false, width: WidthClass::W16 })
+            Some(SlackBucket::Arith {
+                shift: false,
+                width: WidthClass::W16
+            })
         );
         let add_shift = Instr::Alu {
             op: AluOp::Add,

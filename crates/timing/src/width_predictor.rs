@@ -107,10 +107,19 @@ impl WidthPredictor {
     #[must_use]
     pub fn new(entries: usize, conf_bits: u8) -> Self {
         assert!(entries > 0, "predictor needs at least one entry");
-        assert!((1..=7).contains(&conf_bits), "confidence bits must be in 1..=7");
+        assert!(
+            (1..=7).contains(&conf_bits),
+            "confidence bits must be in 1..=7"
+        );
         let n = entries.next_power_of_two();
         WidthPredictor {
-            entries: vec![Entry { width: WidthClass::W32, conf: 0 }; n],
+            entries: vec![
+                Entry {
+                    width: WidthClass::W32,
+                    conf: 0
+                };
+                n
+            ],
             conf_max: (1 << conf_bits) - 1,
             stats: WidthPredictorStats::default(),
         }
@@ -150,7 +159,7 @@ impl WidthPredictor {
             e.conf = 0;
         }
         self.stats.predictions += 1;
-        
+
         match predicted.cmp(&actual) {
             core::cmp::Ordering::Equal => {
                 self.stats.exact += 1;
@@ -224,9 +233,18 @@ mod tests {
     #[test]
     fn outcome_classification() {
         let mut p = WidthPredictor::new(64, 1);
-        assert_eq!(p.update(0, WidthClass::W32, WidthClass::W32), WidthOutcome::Exact);
-        assert_eq!(p.update(0, WidthClass::W32, WidthClass::W8), WidthOutcome::Conservative);
-        assert_eq!(p.update(0, WidthClass::W8, WidthClass::W16), WidthOutcome::Aggressive);
+        assert_eq!(
+            p.update(0, WidthClass::W32, WidthClass::W32),
+            WidthOutcome::Exact
+        );
+        assert_eq!(
+            p.update(0, WidthClass::W32, WidthClass::W8),
+            WidthOutcome::Conservative
+        );
+        assert_eq!(
+            p.update(0, WidthClass::W8, WidthClass::W16),
+            WidthOutcome::Aggressive
+        );
         let s = p.stats();
         assert_eq!(s.predictions, 3);
         assert_eq!(s.exact, 1);
@@ -239,7 +257,11 @@ mod tests {
         let mut p = WidthPredictor::paper_default();
         // 95% narrow with occasional wide bursts at the same PC.
         for i in 0..10_000u32 {
-            let actual = if i % 100 < 95 { WidthClass::W8 } else { WidthClass::W32 };
+            let actual = if i % 100 < 95 {
+                WidthClass::W8
+            } else {
+                WidthClass::W32
+            };
             let pred = p.predict(0x100);
             p.update(0x100, pred, actual);
         }

@@ -171,7 +171,7 @@ pub fn dijkstra(outer_iters: u32) -> Program {
     b.add(r(2), r(2), op_reg(r(5))); // nd = dist[u] + w
     b.add(r(3), r(1), op_imm(dist));
     b.ldr(r(8), r(3), 0); // dist[k]
-    // min(nd, dist[k]) via sign-mask idiom
+                          // min(nd, dist[k]) via sign-mask idiom
     b.sub(r(9), r(2), op_reg(r(8)));
     b.asr(r(12), r(9), op_imm(31));
     b.and_(r(9), r(9), op_reg(r(12)));
@@ -240,7 +240,13 @@ pub fn dot_i8(outer_iters: u32) -> Program {
     let top = b.here();
     b.vldr(v(0), r(0), 0);
     b.vldr(v(1), r(1), 0);
-    b.simd(redsoc_isa::opcode::SimdOp::Vmla, SimdType::I8, v(2), v(0), v(1));
+    b.simd(
+        redsoc_isa::opcode::SimdOp::Vmla,
+        SimdType::I8,
+        v(2),
+        v(0),
+        v(1),
+    );
     b.add(r(0), r(0), op_imm(8));
     b.add(r(1), r(1), op_imm(8));
     b.subs(r(2), r(2), op_imm(1));

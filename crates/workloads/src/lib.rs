@@ -112,13 +112,19 @@ impl Benchmark {
     /// The benchmarks shown in the paper's figures (15 of them).
     #[must_use]
     pub fn paper_set() -> Vec<Benchmark> {
-        Benchmark::all().into_iter().filter(|b| *b != Benchmark::MlMac).collect()
+        Benchmark::all()
+            .into_iter()
+            .filter(|b| *b != Benchmark::MlMac)
+            .collect()
     }
 
     /// Benchmarks of one class, in figure order.
     #[must_use]
     pub fn of_class(class: BenchClass) -> Vec<Benchmark> {
-        Benchmark::paper_set().into_iter().filter(|b| b.class() == class).collect()
+        Benchmark::paper_set()
+            .into_iter()
+            .filter(|b| b.class() == class)
+            .collect()
     }
 
     /// Fig. 10 label.

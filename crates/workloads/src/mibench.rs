@@ -60,7 +60,11 @@ fn crc_table() -> [u32; 256] {
     for (i, slot) in table.iter_mut().enumerate() {
         let mut c = i as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { (c >> 1) ^ 0xEDB8_8320 } else { c >> 1 };
+            c = if c & 1 != 0 {
+                (c >> 1) ^ 0xEDB8_8320
+            } else {
+                c >> 1
+            };
         }
         *slot = c;
     }
@@ -305,7 +309,10 @@ mod tests {
         let p = bitcount(1);
         let mut i = Interpreter::new(&p);
         while i.step().is_some() {}
-        let expected: u32 = xorshift_words(256, 0xB17C).iter().map(|w| w.count_ones()).sum();
+        let expected: u32 = xorshift_words(256, 0xB17C)
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
         assert_eq!(i.reg(r(2)) as u32, expected);
     }
 
@@ -315,7 +322,10 @@ mod tests {
         let mut i = Interpreter::new(&p);
         while i.step().is_some() {}
         // Reference bitwise CRC-32 (no final inversion, init 0xFFFFFFFF).
-        let bytes: Vec<u8> = xorshift_words(128, 0xCCCC).iter().flat_map(|w| w.to_le_bytes()).collect();
+        let bytes: Vec<u8> = xorshift_words(128, 0xCCCC)
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
         let mut crc = u32::MAX;
         for &by in &bytes {
             crc ^= u32::from(by);
@@ -357,7 +367,11 @@ mod tests {
         while i.step().is_some() {
             n += 1;
         }
-        assert!(i.is_halted(), "corners must halt (after {n} ops: {:?})", i.error());
+        assert!(
+            i.is_halted(),
+            "corners must halt (after {n} ops: {:?})",
+            i.error()
+        );
         assert!(n > 10_000);
     }
 }

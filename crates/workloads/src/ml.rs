@@ -72,7 +72,11 @@ pub fn conv3x3(outer_iters: u32) -> Program {
 
     // Accumulate the 3×3 window into v7 (i16×4) with a 9-deep VMLA chain.
     b.vdup(SimdType::I16, v(7), 0);
-    for (dy, weights) in [(-1i32, [13u8, 14, 13]), (0, [14, 15, 14]), (1, [13, 14, 13])] {
+    for (dy, weights) in [
+        (-1i32, [13u8, 14, 13]),
+        (0, [14, 15, 14]),
+        (1, [13, 14, 13]),
+    ] {
         let row_off = dy * row_bytes as i32;
         for (dx, &wreg) in [-1i32, 0, 1].iter().zip(weights.iter()) {
             let off = row_off + dx * 2;
@@ -282,7 +286,7 @@ pub fn softmax(outer_iters: u32) -> Program {
     b.ldr(r(3), r(0), 0);
     b.fp1(FpOp::Fcvt, f(5), r(3));
     b.fp(FpOp::Fsub, f(5), f(5), f(0)); // t = x - max ≤ 0
-    // Horner: e = 1 + t(1 + t(0.5 + t/6))
+                                        // Horner: e = 1 + t(1 + t(0.5 + t/6))
     b.fp(FpOp::Fmul, f(6), f(5), f(3));
     b.fp(FpOp::Fadd, f(6), f(6), f(2));
     b.fp(FpOp::Fmul, f(6), f(6), f(5));

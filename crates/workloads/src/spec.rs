@@ -13,8 +13,7 @@
 //! trace loops over it, so PC-indexed predictors (width, last-arrival,
 //! gshare) see realistic per-PC stability.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use redsoc_prng::SmallRng;
 
 use redsoc_isa::instruction::{Instr, LabelId};
 use redsoc_isa::opcode::{AluOp, Cond, FpOp, MemWidth, MulOp};
@@ -253,9 +252,13 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
             let kind = if u < profile.branch_random {
                 BranchKind::Random
             } else if u < profile.branch_random + 0.35 {
-                BranchKind::Loop { period: rng.gen_range(6..=32) }
+                BranchKind::Loop {
+                    period: rng.gen_range(6..=32),
+                }
             } else {
-                BranchKind::Biased { p: if rng.gen::<bool>() { 0.97 } else { 0.03 } }
+                BranchKind::Biased {
+                    p: if rng.gen::<bool>() { 0.97 } else { 0.03 },
+                }
             };
             body.push(Template::Branch { kind });
             continue;
@@ -268,13 +271,31 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
             let is_store = rng.gen::<f64>() < 0.3;
             let on_spine = !far && !is_store && rng.gen::<f64>() < profile.mem_dep;
             let reg = alloc_reg();
-            let base = if on_spine { spine } else { r(24 + (i % 4) as u8) };
-            let instr = if is_store {
-                Instr::Store { src: reg, base, offset: 0, width: MemWidth::B4 }
+            let base = if on_spine {
+                spine
             } else {
-                Instr::Load { dst: reg, base, offset: 0, width: MemWidth::B4 }
+                r(24 + (i % 4) as u8)
             };
-            let stride = if far { None } else { Some(4 * (1 + (i as u32 % 4))) };
+            let instr = if is_store {
+                Instr::Store {
+                    src: reg,
+                    base,
+                    offset: 0,
+                    width: MemWidth::B4,
+                }
+            } else {
+                Instr::Load {
+                    dst: reg,
+                    base,
+                    offset: 0,
+                    width: MemWidth::B4,
+                }
+            };
+            let stride = if far {
+                None
+            } else {
+                Some(4 * (1 + (i as u32 % 4)))
+            };
             body.push(Template::Mem { instr, stride });
             if on_spine {
                 spine = reg; // the chase continues through the loaded value
@@ -285,13 +306,23 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
             let s1 = if on_spine { spine } else { r(26) };
             let instr = if rng.gen::<f64>() < 0.6 {
                 Instr::Fp {
-                    op: if rng.gen::<f64>() < 0.7 { FpOp::Fmul } else { FpOp::Fadd },
+                    op: if rng.gen::<f64>() < 0.7 {
+                        FpOp::Fmul
+                    } else {
+                        FpOp::Fadd
+                    },
                     dst: ArchReg::fp((i % 12) as u8),
                     src1: ArchReg::fp(((i + 3) % 12) as u8),
                     src2: Some(ArchReg::fp(((i + 7) % 12) as u8)),
                 }
             } else {
-                Instr::MulDiv { op: MulOp::Mul, dst, src1: s1, src2: r(26), acc: None }
+                Instr::MulDiv {
+                    op: MulOp::Mul,
+                    dst,
+                    src1: s1,
+                    src2: r(26),
+                    acc: None,
+                }
             };
             body.push(Template::Multi(instr));
             if on_spine && matches!(body.last(), Some(Template::Multi(Instr::MulDiv { .. }))) {
@@ -300,8 +331,8 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
         } else {
             // Scalar ALU op, either high or low slack; most extend the
             // spine, the rest are parallel side work reading it.
-            let hs_share = profile.frac_alu_hs
-                / (1.0 - profile.frac_mem - profile.frac_multi).max(1e-9);
+            let hs_share =
+                profile.frac_alu_hs / (1.0 - profile.frac_mem - profile.frac_multi).max(1e-9);
             let high_slack = rng.gen::<f64>() < hs_share;
             let op = if high_slack {
                 HS_OPS[rng.gen_range(0..HS_OPS.len())]
@@ -330,8 +361,16 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
                 op2,
                 set_flags: op == AluOp::Cmp,
             };
-            let eff_bits = if high_slack { rng.gen_range(3..=8) } else { rng.gen_range(26..=32) };
-            body.push(Template::Alu { instr, eff_bits, wide_prob: 0.004 });
+            let eff_bits = if high_slack {
+                rng.gen_range(3..=8)
+            } else {
+                rng.gen_range(26..=32)
+            };
+            body.push(Template::Alu {
+                instr,
+                eff_bits,
+                wide_prob: 0.004,
+            });
             if on_spine {
                 spine = dst;
             }
@@ -350,8 +389,18 @@ pub fn spec_trace(profile: &SpecProfile, len: u64, seed: u64) -> SpecTrace {
         wide_prob: 0.0,
     });
 
-    let cursors = (0..body.len()).map(|i| (i as u32 * 64) % HOT_BYTES).collect();
-    SpecTrace { body, rng, seq: 0, idx: 0, remaining: len, cursors, halted: false }
+    let cursors = (0..body.len())
+        .map(|i| (i as u32 * 64) % HOT_BYTES)
+        .collect();
+    SpecTrace {
+        body,
+        rng,
+        seq: 0,
+        idx: 0,
+        remaining: len,
+        cursors,
+        halted: false,
+    }
 }
 
 impl Iterator for SpecTrace {
@@ -374,13 +423,17 @@ impl Iterator for SpecTrace {
         self.seq += 1;
         let t = self.body[idx].clone();
         let op = match t {
-            Template::Alu { instr, eff_bits, wide_prob } => {
+            Template::Alu {
+                instr,
+                eff_bits,
+                wide_prob,
+            } => {
                 let mut d = DynOp::simple(seq, pc, instr);
                 d.eff_bits = if self.rng.gen::<f64>() < wide_prob {
                     30
                 } else {
                     // Small per-instance jitter within the class.
-                    (eff_bits + self.rng.gen_range(0..2)).min(32)
+                    (eff_bits + self.rng.gen_range(0u8..2)).min(32)
                 };
                 d
             }
@@ -418,7 +471,10 @@ impl Iterator for SpecTrace {
                 // fold the dependence by emitting the branch itself reading
                 // flags set by earlier CMP templates.
                 let _ = cmp_flags;
-                let instr = Instr::Branch { cond: Cond::Ne, target: LabelId::new(0) };
+                let instr = Instr::Branch {
+                    cond: Cond::Ne,
+                    target: LabelId::new(0),
+                };
                 let mut d = DynOp::simple(seq, pc, instr);
                 d.taken = match kind {
                     BranchKind::Loop { period } => {

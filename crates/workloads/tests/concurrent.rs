@@ -1,0 +1,52 @@
+//! Trace generation must be thread-safe and deterministic: the parallel
+//! experiment engine generates traces from worker threads, and every
+//! thread (and every process run) must see the identical instruction
+//! stream for a given (benchmark, length) pair.
+
+use redsoc_workloads::Benchmark;
+
+const LEN: u64 = 3_000;
+
+#[test]
+fn concurrent_generation_matches_serial_generation() {
+    for bench in [Benchmark::Bzip2, Benchmark::Crc, Benchmark::Conv] {
+        let reference = bench.trace(LEN);
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || bench.trace(LEN)))
+            .collect();
+        for h in handles {
+            let t = h.join().expect("generator thread panics nowhere");
+            assert_eq!(
+                t.len(),
+                reference.len(),
+                "{}: trace length drifted across threads",
+                bench.name()
+            );
+            let same = t
+                .iter()
+                .zip(reference.iter())
+                .all(|(a, b)| format!("{a:?}") == format!("{b:?}"));
+            assert!(
+                same,
+                "{}: concurrent trace differs from serial",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_across_calls() {
+    for bench in Benchmark::all() {
+        let a = bench.trace(LEN);
+        let b = bench.trace(LEN);
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| format!("{x:?}") == format!("{y:?}")),
+            "{}: two generations of the same trace differ",
+            bench.name()
+        );
+    }
+}

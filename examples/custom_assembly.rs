@@ -39,7 +39,11 @@ outer:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = assemble(SOURCE)?;
-    println!("assembled {} instructions:\n{}", program.len(), &program.disassemble()[..300]);
+    println!(
+        "assembled {} instructions:\n{}",
+        program.len(),
+        &program.disassemble()[..300]
+    );
 
     let mut interp = Interpreter::new(&program);
     let trace = interp.run(1_000_000)?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("SMALL", CoreConfig::small()),
     ];
 
-    println!("{:<10} {:>8} {:>10} {:>10} {:>9}", "kernel", "core", "base IPC", "rd IPC", "speedup");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>9}",
+        "kernel", "core", "base IPC", "rd IPC", "speedup"
+    );
     for kernel in kernels {
         let trace = kernel.trace(60_000);
         for (name, core) in &cores {

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Functional execution → dynamic trace.
     let mut interp = Interpreter::new(&program);
     let trace = interp.run(1_000_000)?;
-    println!("traced {} dynamic instructions; r1 = {:#x}", trace.len(), interp.reg(r(1)));
+    println!(
+        "traced {} dynamic instructions; r1 = {:#x}",
+        trace.len(),
+        interp.reg(r(1))
+    );
 
     // 3. Cycle-level simulation, baseline vs ReDSOC.
     let base = simulate(trace.iter().copied(), CoreConfig::big())?;

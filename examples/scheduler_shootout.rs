@@ -23,11 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let core = CoreConfig::big();
 
     let base = simulate(trace.iter().copied(), core.clone())?;
-    let red = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::redsoc()))?;
-    let mos = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::mos()))?;
+    let red = simulate(
+        trace.iter().copied(),
+        core.clone().with_sched(SchedulerConfig::redsoc()),
+    )?;
+    let mos = simulate(
+        trace.iter().copied(),
+        core.clone().with_sched(SchedulerConfig::mos()),
+    )?;
     let ts = run_ts(&trace, &core, base.cycles, 0.01)?;
 
-    println!("benchmark: {} ({} dynamic instructions, BIG core)", bench.name(), trace.len());
+    println!(
+        "benchmark: {} ({} dynamic instructions, BIG core)",
+        bench.name(),
+        trace.len()
+    );
     println!("{:<10} {:>12} {:>10}", "scheduler", "cycles", "speedup");
     println!("{:<10} {:>12} {:>9.1}%", "baseline", base.cycles, 0.0);
     println!(

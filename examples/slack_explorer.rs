@@ -20,7 +20,10 @@ fn main() {
         ("ADD r,r,r LSR #3", AluOp::Add, true),
     ] {
         let t = alu_compute_ps(op, shift, 32);
-        println!("  {label:<18} {t:>4} ps  ({:>2}% slack)", (CYCLE_PS - t) * 100 / CYCLE_PS);
+        println!(
+            "  {label:<18} {t:>4} ps  ({:>2}% slack)",
+            (CYCLE_PS - t) * 100 / CYCLE_PS
+        );
     }
 
     println!("\nwidth slack — the same ADD at narrower effective widths:");

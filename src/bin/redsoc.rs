@@ -5,10 +5,12 @@
 //! redsoc run bitcnt --core big --sched redsoc --len 200000
 //! redsoc compare crc --core medium
 //! redsoc sweep bzip2 --knob threshold
+//! redsoc bench --threads 8 --len 300000 --out BENCH_sweep.json
 //! ```
 
 use std::process::ExitCode;
 
+use redsoc::bench::runner::{run_full_sweep, sweep_json, Mode};
 use redsoc::core::ts::run_ts;
 use redsoc::prelude::*;
 
@@ -62,7 +64,10 @@ impl Flags {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -72,12 +77,26 @@ fn print_report(label: &str, rep: &SimReport) {
     println!("committed     {:>12}", rep.committed);
     println!("IPC           {:>12.3}", rep.ipc());
     println!("recycled ops  {:>12}", rep.recycled_ops);
-    println!("EGPW issues   {:>12}  (wasted {})", rep.egpw_issues, rep.egpw_wasted);
+    println!(
+        "EGPW issues   {:>12}  (wasted {})",
+        rep.egpw_issues, rep.egpw_wasted
+    );
     println!("2-cycle holds {:>12}", rep.two_cycle_holds);
-    println!("E[chain len]  {:>12.2}  ({} sequences)", rep.chains.weighted_mean(), rep.chains.sequences());
+    println!(
+        "E[chain len]  {:>12.2}  ({} sequences)",
+        rep.chains.weighted_mean(),
+        rep.chains.sequences()
+    );
     println!("FU stalls     {:>11.1}%", rep.fu_stall_rate() * 100.0);
-    println!("br mispredict {:>11.2}%", rep.branch.mispredict_rate() * 100.0);
-    println!("tag mispredict{:>11.2}%  ({} predictions)", rep.tag_pred.mispredict_rate() * 100.0, rep.tag_pred.predictions);
+    println!(
+        "br mispredict {:>11.2}%",
+        rep.branch.mispredict_rate() * 100.0
+    );
+    println!(
+        "tag mispredict{:>11.2}%  ({} predictions)",
+        rep.tag_pred.mispredict_rate() * 100.0,
+        rep.tag_pred.predictions
+    );
     println!(
         "width mispred {:>11.2}% aggressive / {:.2}% conservative",
         rep.width_pred.aggressive_rate() * 100.0,
@@ -106,12 +125,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let trace = bench.trace(len);
     let rep = simulate(trace.into_iter(), core.clone().with_sched(sched.clone()))
         .map_err(|e| e.to_string())?;
-    print_report(&format!("{} on {} ({:?})", bench.name(), core.name, sched.mode), &rep);
+    print_report(
+        &format!("{} on {} ({:?})", bench.name(), core.name, sched.mode),
+        &rep,
+    );
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
-    let bench = parse_bench(args.first().ok_or("usage: redsoc compare <bench> [flags]")?)?;
+    let bench = parse_bench(
+        args.first()
+            .ok_or("usage: redsoc compare <bench> [flags]")?,
+    )?;
     let flags = Flags::parse(&args[1..])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
     let len: u64 = flags
@@ -126,20 +151,46 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         core.clone().with_sched(SchedulerConfig::redsoc()),
     )
     .map_err(|e| e.to_string())?;
-    let mos = simulate(trace.iter().copied(), core.clone().with_sched(SchedulerConfig::mos()))
-        .map_err(|e| e.to_string())?;
+    let mos = simulate(
+        trace.iter().copied(),
+        core.clone().with_sched(SchedulerConfig::mos()),
+    )
+    .map_err(|e| e.to_string())?;
     let ts = run_ts(&trace, &core, base.cycles, 0.01).map_err(|e| e.to_string())?;
-    println!("{} on {} ({} instructions)", bench.name(), core.name, trace.len());
+    println!(
+        "{} on {} ({} instructions)",
+        bench.name(),
+        core.name,
+        trace.len()
+    );
     println!("{:<10} {:>12} {:>9}", "scheduler", "cycles", "speedup");
     println!("{:<10} {:>12} {:>8.1}%", "baseline", base.cycles, 0.0);
-    println!("{:<10} {:>12} {:>8.1}%", "redsoc", red.cycles, (red.speedup_over(&base) - 1.0) * 100.0);
-    println!("{:<10} {:>12} {:>8.1}%", "ts", ts.cycles, (ts.speedup - 1.0) * 100.0);
-    println!("{:<10} {:>12} {:>8.1}%", "mos", mos.cycles, (mos.speedup_over(&base) - 1.0) * 100.0);
+    println!(
+        "{:<10} {:>12} {:>8.1}%",
+        "redsoc",
+        red.cycles,
+        (red.speedup_over(&base) - 1.0) * 100.0
+    );
+    println!(
+        "{:<10} {:>12} {:>8.1}%",
+        "ts",
+        ts.cycles,
+        (ts.speedup - 1.0) * 100.0
+    );
+    println!(
+        "{:<10} {:>12} {:>8.1}%",
+        "mos",
+        mos.cycles,
+        (mos.speedup_over(&base) - 1.0) * 100.0
+    );
     Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let bench = parse_bench(args.first().ok_or("usage: redsoc sweep <bench> --knob <threshold|precision>")?)?;
+    let bench = parse_bench(
+        args.first()
+            .ok_or("usage: redsoc sweep <bench> --knob <threshold|precision>")?,
+    )?;
     let flags = Flags::parse(&args[1..])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
     let knob = flags.get("knob").unwrap_or("threshold");
@@ -169,11 +220,48 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 s.threshold_ticks = (1 << bits) - 1;
                 let rep = simulate(trace.iter().copied(), core.clone().with_sched(s))
                     .map_err(|e| e.to_string())?;
-                println!("{bits:<10} {:>8.1}%", (rep.speedup_over(&base) - 1.0) * 100.0);
+                println!(
+                    "{bits:<10} {:>8.1}%",
+                    (rep.speedup_over(&base) - 1.0) * 100.0
+                );
             }
         }
         other => return Err(format!("unknown knob {other:?} (threshold|precision)")),
     }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let threads = match flags.get("threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|e| format!("bad --threads: {e}"))?
+            .max(1),
+        None => redsoc::bench::threads(),
+    };
+    let len: u64 = match flags.get("len") {
+        Some(l) => l.parse().map_err(|e| format!("bad --len: {e}"))?,
+        None => redsoc::bench::trace_len(),
+    };
+    let out = flags.get("out").unwrap_or("BENCH_sweep.json");
+    let cache = redsoc::bench::TraceCache::new(len);
+    let grid = run_full_sweep(&cache, &Mode::all(), threads);
+    let doc = sweep_json(&grid, len);
+    std::fs::write(out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{} jobs ({} benchmarks x 3 cores x {} modes) on {threads} thread(s)",
+        grid.rows().len(),
+        Benchmark::all().len(),
+        Mode::all().len(),
+    );
+    println!(
+        "wall {:.2}s, cpu {:.2}s ({:.2}x parallel efficiency)",
+        grid.wall.as_secs_f64(),
+        grid.cpu_time().as_secs_f64(),
+        grid.cpu_time().as_secs_f64() / grid.wall.as_secs_f64().max(1e-9)
+    );
+    println!("wrote {out}");
     Ok(())
 }
 
@@ -185,6 +273,9 @@ fn usage() -> String {
      \x20 run <bench> [flags]      simulate one benchmark\n\
      \x20 compare <bench> [flags]  baseline vs ReDSOC vs TS vs MOS\n\
      \x20 sweep <bench> [flags]    design-knob sweep (--knob threshold|precision)\n\
+     \x20 bench [flags]            full parallel sweep -> machine-readable JSON\n\
+     \x20                          (--threads N  --len N  --out FILE;\n\
+     \x20                          defaults: all cores, REDSOC_THREADS, BENCH_sweep.json)\n\
      \n\
      flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N"
         .to_string()
@@ -197,6 +288,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => Err(usage()),
     };
     match result {

