@@ -350,7 +350,7 @@ mod tests {
     #[test]
     fn round_trips_a_nested_document() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("redsoc-bench-sweep/v1")),
+            ("schema", Json::str("redsoc-bench-sweep/v2")),
             ("threads", Json::num(8u32)),
             ("ok", Json::Bool(true)),
             ("speedup", Json::Num(1.2345)),

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
 use redsoc_core::sim::simulate;
-use redsoc_core::stats::SimReport;
+use redsoc_core::stats::{SimReport, StallCause};
 use redsoc_core::ts::TsResult;
 use redsoc_workloads::Benchmark;
 
@@ -81,10 +81,12 @@ pub struct Job {
 }
 
 /// What a job produced: a full simulation report, or a TS analysis.
+/// The report is boxed: `SimReport` is an order of magnitude larger than
+/// `TsResult`, and grids hold hundreds of these.
 #[derive(Debug, Clone)]
 pub enum JobOutput {
     /// Cycle-level simulation result.
-    Sim(SimReport),
+    Sim(Box<SimReport>),
     /// Timing-speculation analysis result.
     Ts(TsResult),
 }
@@ -242,7 +244,7 @@ fn run_sim_job(cache: &TraceCache, job: &Job) -> JobResult {
     JobResult {
         job: job.clone(),
         wall: start.elapsed(),
-        output: JobOutput::Sim(report),
+        output: JobOutput::Sim(Box::new(report)),
     }
 }
 
@@ -348,14 +350,17 @@ pub fn run_full_sweep(cache: &TraceCache, modes: &[Mode], threads: usize) -> Gri
     run_grid(cache, &Benchmark::all(), &crate::cores(), modes, threads)
 }
 
-/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v1`
+/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v2`
 /// document written to `BENCH_sweep.json`.
 ///
 /// Per job: benchmark, class, core, mode, simulated `cycles`, committed
-/// instruction count, `ipc`, per-job `wall_seconds`, and
+/// instruction count, `ipc`, per-job `wall_seconds`,
 /// `speedup_over_baseline` (1.0 for baseline rows by construction; TS rows
-/// carry the clock-corrected TS speedup). TS rows report the committed
-/// count of their matching baseline run, since TS replays the same trace.
+/// carry the clock-corrected TS speedup), and — new in `/v2` — a `stalls`
+/// object of per-cause cycle counters whose values sum to `cycles`
+/// (`null` for TS rows, which are analytical and have no pipeline). TS
+/// rows report the committed count of their matching baseline run, since
+/// TS replays the same trace.
 #[must_use]
 pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
     let jobs: Vec<Json> = grid
@@ -368,6 +373,15 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
                     let base = grid.report(r.job.bench, r.job.core_name, Mode::Baseline);
                     (base.committed, base.committed as f64 / t.cycles as f64)
                 }
+            };
+            let stalls = match &r.output {
+                JobOutput::Sim(rep) => Json::obj(
+                    StallCause::all()
+                        .into_iter()
+                        .map(|c| (c.label(), Json::num(rep.stalls.count(c) as f64)))
+                        .collect(),
+                ),
+                JobOutput::Ts(_) => Json::Null,
             };
             Json::obj(vec![
                 ("benchmark", Json::str(r.job.bench.name())),
@@ -382,11 +396,12 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
                     "speedup_over_baseline",
                     Json::num(grid.speedup(r.job.bench, r.job.core_name, r.job.mode)),
                 ),
+                ("stalls", stalls),
             ])
         })
         .collect();
     Json::obj(vec![
-        ("schema", Json::str("redsoc-bench-sweep/v1")),
+        ("schema", Json::str("redsoc-bench-sweep/v2")),
         ("trace_len", Json::num(trace_len as f64)),
         ("threads", Json::num(grid.threads as f64)),
         ("wall_seconds", Json::num(grid.wall.as_secs_f64())),

@@ -1,0 +1,187 @@
+//! End-to-end validation of the observability layer against real
+//! workloads: the JSONL event stream is schema-valid line by line, the
+//! Chrome trace is a loadable `trace_event` document, and — the zero-cost
+//! contract — attaching a recording sink does not perturb the simulation,
+//! so the sweep JSON is byte-identical modulo wall-clock timing fields.
+
+use redsoc_bench::json::Json;
+use redsoc_bench::runner::{run_grid, sweep_json, Mode};
+use redsoc_bench::{cores, TraceCache};
+use redsoc_core::events::{ChromeTraceSink, JsonlSink, VecSink};
+use redsoc_core::sim::{simulate_events, Simulator};
+use redsoc_core::{CoreConfig, SchedulerConfig};
+use redsoc_workloads::Benchmark;
+
+const LEN: u64 = 4_000;
+
+fn redsoc_big() -> CoreConfig {
+    CoreConfig::big().with_sched(SchedulerConfig::redsoc())
+}
+
+/// Every event-type label the JSONL stream may carry.
+const KNOWN_EVENTS: [&str; 12] = [
+    "fetch",
+    "dispatch",
+    "select_grant",
+    "issue",
+    "tag_mispredict",
+    "gp_mispeculation",
+    "spec_wasted",
+    "ci_broadcast",
+    "writeback",
+    "commit",
+    "fetch_redirect",
+    "stall_cycle",
+];
+
+#[test]
+fn jsonl_stream_is_schema_valid_per_line() {
+    let trace = Benchmark::Bitcnt.trace(LEN);
+    let mut sink = JsonlSink::new(Vec::new());
+    let rep = simulate_events(trace.into_iter(), redsoc_big(), &mut sink).expect("run");
+    let lines = sink.lines();
+    let bytes = sink.finish();
+    let text = String::from_utf8(bytes).expect("utf-8 stream");
+
+    let mut parsed = 0u64;
+    let mut commits = 0u64;
+    let mut last_cycle = 0u64;
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let cycle = doc
+            .get("cycle")
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("line missing cycle: {line}"));
+        let event = doc
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("line missing event: {line}"));
+        assert!(
+            KNOWN_EVENTS.contains(&event),
+            "unknown event type {event:?}"
+        );
+        // Everything except per-cycle stall attribution names an
+        // instruction.
+        if event != "stall_cycle" {
+            assert!(
+                doc.get("seq").and_then(Json::as_num).is_some(),
+                "{event} line missing seq: {line}"
+            );
+        } else {
+            assert!(doc.get("cause").and_then(Json::as_str).is_some());
+        }
+        assert!(cycle >= last_cycle as f64, "events out of cycle order");
+        last_cycle = cycle as u64;
+        if event == "commit" {
+            commits += 1;
+        }
+        parsed += 1;
+    }
+    assert_eq!(parsed, lines, "sink line count matches the stream");
+    assert_eq!(commits, rep.committed, "one commit event per retired op");
+}
+
+#[test]
+fn chrome_trace_is_a_loadable_trace_event_document() {
+    let trace = Benchmark::Conv.trace(LEN);
+    let sched = SchedulerConfig::redsoc();
+    let mut sink = ChromeTraceSink::new(sched.quant().ticks_per_cycle());
+    let cfg = CoreConfig::big().with_sched(sched);
+    simulate_events(trace.into_iter(), cfg, &mut sink).expect("run");
+    let text = sink.finish();
+
+    let doc = Json::parse(&text).expect("chrome trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(events.len() > 100, "real workload produces real rows");
+
+    // All eight pipeline-stage tracks are named, plus at least one FU
+    // track (conv exercises ALU and memory pools heavily).
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    for stage in [
+        "stage: fetch",
+        "stage: dispatch",
+        "stage: select",
+        "stage: issue",
+        "stage: ci-bus",
+        "stage: writeback",
+        "stage: commit",
+        "stall attribution",
+    ] {
+        assert!(track_names.contains(&stage), "missing track {stage:?}");
+    }
+    assert!(
+        track_names.iter().any(|n| n.starts_with("alu")),
+        "no ALU functional-unit track was named"
+    );
+
+    // Execution spans are complete events with positive duration.
+    let spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty(), "no execution spans");
+    for s in &spans {
+        assert!(s.get("ts").and_then(Json::as_num).is_some());
+        assert!(s
+            .get("dur")
+            .and_then(Json::as_num)
+            .is_some_and(|d| d >= 1.0));
+    }
+}
+
+#[test]
+fn recording_sink_does_not_perturb_the_simulation() {
+    let trace = Benchmark::Crc.trace(LEN);
+    let quiet = Simulator::new(redsoc_big())
+        .expect("sim")
+        .run(trace.iter().copied())
+        .expect("run");
+    let mut sink = VecSink::new();
+    let traced = simulate_events(trace.into_iter(), redsoc_big(), &mut sink).expect("run");
+    assert_eq!(
+        format!("{quiet:?}"),
+        format!("{traced:?}"),
+        "observing the pipeline must not change it"
+    );
+    assert!(!sink.events.is_empty());
+}
+
+/// Replace wall-clock timing fields (the only legitimately nondeterministic
+/// values in a sweep document) with zero, recursively.
+fn strip_timing(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(map) => Json::Obj(
+            map.iter()
+                .map(|(k, v)| {
+                    if k == "wall_seconds" || k == "cpu_seconds" {
+                        (k.clone(), Json::num(0.0))
+                    } else {
+                        (k.clone(), strip_timing(v))
+                    }
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_runs() {
+    let cache = TraceCache::new(LEN);
+    let benches = [Benchmark::Bitcnt, Benchmark::Crc];
+    let all_cores = cores();
+    let modes = Mode::all();
+    let a = run_grid(&cache, &benches, &all_cores[..1], &modes, 2);
+    let b = run_grid(&cache, &benches, &all_cores[..1], &modes, 2);
+    let a_text = strip_timing(&sweep_json(&a, LEN)).pretty();
+    let b_text = strip_timing(&sweep_json(&b, LEN)).pretty();
+    assert_eq!(a_text, b_text, "sweep output must be deterministic");
+}

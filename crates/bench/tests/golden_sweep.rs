@@ -19,7 +19,7 @@ fn full_sweep_json_is_complete_and_sane() {
     let doc = Json::parse(&text).expect("sweep JSON parses back");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("redsoc-bench-sweep/v1")
+        Some("redsoc-bench-sweep/v2")
     );
     assert_eq!(
         doc.get("trace_len").and_then(Json::as_num),
@@ -76,6 +76,38 @@ fn full_sweep_json_is_complete_and_sane() {
             assert!(
                 (speedup - 1.0).abs() < 1e-12,
                 "{name}: baseline speedup must be 1.0, got {speedup}"
+            );
+        }
+        // /v2: simulator rows carry a stall breakdown that partitions
+        // cycles exactly; TS rows (analytical, no pipeline) carry null.
+        let mode = j.get("mode").and_then(Json::as_str).unwrap_or("?");
+        let stalls = j.get("stalls").expect("stalls field present in /v2");
+        if mode == "ts" {
+            assert_eq!(*stalls, Json::Null, "{name}: TS rows have null stalls");
+        } else {
+            let cycles = j.get("cycles").and_then(Json::as_num).unwrap_or(0.0);
+            let total: f64 = [
+                "busy",
+                "frontend",
+                "rob_full",
+                "rs_full",
+                "lsq_full",
+                "fu_contention",
+                "memory",
+                "slack_hold",
+                "exec_latency",
+            ]
+            .iter()
+            .map(|k| {
+                stalls
+                    .get(k)
+                    .and_then(Json::as_num)
+                    .unwrap_or_else(|| panic!("{name}/{mode}: stall counter {k} missing"))
+            })
+            .sum();
+            assert!(
+                (total - cycles).abs() < 0.5,
+                "{name}/{mode}: stall partition {total} != cycles {cycles}"
             );
         }
     }

@@ -35,6 +35,17 @@ impl PoolKind {
             ExecClass::Load | ExecClass::Store => PoolKind::Mem,
         }
     }
+
+    /// Stable machine-readable label (event payloads, trace track names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolKind::Alu => "alu",
+            PoolKind::Simd => "simd",
+            PoolKind::Fp => "fp",
+            PoolKind::Mem => "mem",
+        }
+    }
 }
 
 /// One pool of identical functional units.
@@ -65,15 +76,20 @@ impl FuPool {
     }
 
     /// Reserve one unit for `occupancy` execution cycles starting at
-    /// `exec_cycle`. Returns `false` (reserving nothing) if no unit is
-    /// free.
-    pub fn reserve(&mut self, exec_cycle: u64, occupancy: u32) -> bool {
+    /// `exec_cycle`. Returns the index of the unit bound (the event-trace
+    /// track id), or `None` (reserving nothing) if no unit is free.
+    pub fn reserve(&mut self, exec_cycle: u64, occupancy: u32) -> Option<u32> {
         debug_assert!(occupancy >= 1);
-        if let Some(f) = self.free_at.iter_mut().find(|f| **f <= exec_cycle) {
+        if let Some((i, f)) = self
+            .free_at
+            .iter_mut()
+            .enumerate()
+            .find(|(_, f)| **f <= exec_cycle)
+        {
             *f = exec_cycle + u64::from(occupancy);
-            true
+            Some(i as u32)
         } else {
-            false
+            None
         }
     }
 
@@ -104,11 +120,11 @@ mod tests {
     fn reserve_and_release() {
         let mut p = FuPool::new(2);
         assert_eq!(p.free_units(5), 2);
-        assert!(p.reserve(5, 1));
+        assert_eq!(p.reserve(5, 1), Some(0));
         assert_eq!(p.free_units(5), 1);
-        assert!(p.reserve(5, 2)); // two-cycle transparent hold
+        assert_eq!(p.reserve(5, 2), Some(1)); // two-cycle transparent hold
         assert_eq!(p.free_units(5), 0);
-        assert!(!p.reserve(5, 1));
+        assert_eq!(p.reserve(5, 1), None);
         // Cycle 6: the 1-cycle reservation expired, the 2-cycle one has not.
         assert_eq!(p.free_units(6), 1);
         assert_eq!(p.free_units(7), 2);
@@ -117,11 +133,19 @@ mod tests {
     #[test]
     fn divide_occupies_for_full_latency() {
         let mut p = FuPool::new(1);
-        assert!(p.reserve(10, 12));
+        assert!(p.reserve(10, 12).is_some());
         for c in 10..22 {
             assert_eq!(p.free_units(c), 0, "cycle {c}");
         }
         assert_eq!(p.free_units(22), 1);
+    }
+
+    #[test]
+    fn pool_labels_are_stable() {
+        assert_eq!(PoolKind::Alu.label(), "alu");
+        assert_eq!(PoolKind::Simd.label(), "simd");
+        assert_eq!(PoolKind::Fp.label(), "fp");
+        assert_eq!(PoolKind::Mem.label(), "mem");
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod branch;
 pub mod config;
+pub mod events;
 pub mod fu;
 pub mod sim;
 pub mod stats;
@@ -60,11 +61,14 @@ pub mod ts;
 /// Convenient import surface for driving simulations.
 pub mod prelude {
     pub use crate::config::{CoreConfig, SchedMode, SchedulerConfig};
-    pub use crate::sim::{simulate, SimError, Simulator};
-    pub use crate::stats::{ChainStats, OpCategory, OpMix, SimReport};
+    pub use crate::events::{
+        ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
+    };
+    pub use crate::sim::{simulate, simulate_events, SimError, Simulator};
+    pub use crate::stats::{ChainStats, OpCategory, OpMix, SimReport, StallBreakdown, StallCause};
     pub use crate::ts::{run_ts, TsResult};
 }
 
 pub use config::{CoreConfig, SchedMode, SchedulerConfig};
-pub use sim::{simulate, SimError, Simulator};
+pub use sim::{simulate, simulate_events, SimError, Simulator};
 pub use stats::SimReport;

@@ -52,8 +52,9 @@ use redsoc_timing::Quant;
 
 use crate::branch::Gshare;
 use crate::config::{CoreConfig, SchedMode};
+use crate::events::{EventSink, NullSink, PipeEvent};
 use crate::fu::{FuPool, PoolKind};
-use crate::stats::{OpCategory, SimReport};
+use crate::stats::{OpCategory, SimReport, StallCause};
 use crate::tag_pred::{LastArrival, TagPredictor};
 
 /// Simulation errors.
@@ -66,6 +67,10 @@ pub enum SimError {
         cycle: u64,
         /// Instructions committed before the stall.
         committed: u64,
+        /// Dump of the most recent pipeline events from the run's sink
+        /// (empty when events were disabled — rerun with a retaining sink
+        /// such as `RingSink` for the diagnostic).
+        recent_events: Vec<String>,
     },
     /// The core configuration failed validation.
     BadConfig(String),
@@ -74,11 +79,27 @@ pub enum SimError {
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, committed } => {
+            SimError::Deadlock {
+                cycle,
+                committed,
+                recent_events,
+            } => {
                 write!(
                     f,
                     "no commit progress at cycle {cycle} ({committed} committed)"
-                )
+                )?;
+                if recent_events.is_empty() {
+                    write!(
+                        f,
+                        "; events were disabled — rerun with --events for a pipeline dump"
+                    )
+                } else {
+                    write!(f, "; last {} pipeline events:", recent_events.len())?;
+                    for ev in recent_events {
+                        write!(f, "\n  {ev}")?;
+                    }
+                    Ok(())
+                }
             }
             SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -126,6 +147,9 @@ struct Ifo {
     done_cycle: u64,
     /// Whether evaluation began mid-cycle (recycled slack).
     transparent: bool,
+    /// Whether the evaluation crossed a clock boundary and held its FU for
+    /// two cycles (IT3) — the `SlackHold` stall attribution.
+    held_two: bool,
     chain_len: u32,
     chain_extended: bool,
     committed: bool,
@@ -259,7 +283,26 @@ impl Simulator {
     ///
     /// Returns [`SimError::Deadlock`] if the pipeline stops making
     /// progress (a model bug guard, not an expected outcome).
-    pub fn run(mut self, mut trace: impl Iterator<Item = DynOp>) -> Result<SimReport, SimError> {
+    pub fn run(self, trace: impl Iterator<Item = DynOp>) -> Result<SimReport, SimError> {
+        self.run_events(trace, &mut NullSink)
+    }
+
+    /// Run the trace, streaming pipeline events into `sink`.
+    ///
+    /// With the default [`NullSink`] (`EventSink::ENABLED == false`) every
+    /// emission site monomorphises away and the run is identical to
+    /// [`Simulator::run`]. Stall attribution is always on: it feeds
+    /// `SimReport::stalls` regardless of the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the pipeline stops making
+    /// progress; the error carries `sink.recent()` as a diagnostic.
+    pub fn run_events<S: EventSink>(
+        mut self,
+        mut trace: impl Iterator<Item = DynOp>,
+        sink: &mut S,
+    ) -> Result<SimReport, SimError> {
         let mut last_progress_cycle = 0u64;
         let mut last_committed = 0u64;
         loop {
@@ -268,10 +311,11 @@ impl Simulator {
                 let gb = self.pvt.guard_band_ps(self.cycle);
                 self.lut = self.base_lut.with_guard_band(gb);
             }
-            self.commit();
-            self.select_and_issue();
-            self.dispatch();
-            self.fetch(&mut trace);
+            let committed_before = self.committed_total;
+            self.commit(sink);
+            let fu_denied = self.select_and_issue(sink);
+            let dispatch_block = self.dispatch(sink);
+            self.fetch(&mut trace, sink);
 
             if self.committed_total != last_committed {
                 last_committed = self.committed_total;
@@ -280,6 +324,7 @@ impl Simulator {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
                     committed: self.committed_total,
+                    recent_events: sink.recent(),
                 });
             }
 
@@ -289,7 +334,22 @@ impl Simulator {
             if drained {
                 break;
             }
+            // Charge this cycle to exactly one cause: the partition
+            // invariant `stalls.total() == cycles` holds by construction.
+            let cause = self.attribute_stall(
+                self.committed_total - committed_before,
+                fu_denied,
+                dispatch_block,
+            );
+            self.report.stalls.bump(cause);
+            if S::ENABLED && cause != StallCause::Busy {
+                sink.record(self.cycle, &PipeEvent::StallCycle { cause });
+            }
             self.cycle += 1;
+        }
+        if self.cycle == 0 {
+            // Empty trace: the report counts one cycle; charge it too.
+            self.report.stalls.bump(StallCause::Frontend);
         }
         self.drain_chain_stats();
         self.report.cycles = self.cycle.max(1);
@@ -298,7 +358,52 @@ impl Simulator {
         self.report.width_pred = self.width_pred.stats();
         self.report.branch = self.gshare.stats();
         self.report.memory = self.memory.stats();
+        debug_assert_eq!(self.report.stalls.total(), self.report.cycles);
         Ok(self.report)
+    }
+
+    /// Pick the single cause this non-draining cycle is charged to.
+    ///
+    /// Priority: a retiring cycle is busy; otherwise the ROB head explains
+    /// the stall (it is the oldest instruction, so nothing younger can be
+    /// the bottleneck): an issued head is waiting on the memory hierarchy,
+    /// a boundary-crossing slack hold, or plain execution latency; an
+    /// unissued head was denied a functional unit, blocked behind a store,
+    /// or is waiting on dispatch back-pressure. An empty ROB is the front
+    /// end's fault.
+    fn attribute_stall(
+        &self,
+        committed_delta: u64,
+        fu_denied: bool,
+        dispatch_block: Option<StallCause>,
+    ) -> StallCause {
+        if committed_delta > 0 {
+            return StallCause::Busy;
+        }
+        let head_idx = (self.committed_total - self.base_seq) as usize;
+        match self.ifos.get(head_idx) {
+            Some(head) if head.issued => {
+                if matches!(head.class, ExecClass::Load | ExecClass::Store) {
+                    StallCause::Memory
+                } else if head.held_two {
+                    StallCause::SlackHold
+                } else {
+                    StallCause::ExecLatency
+                }
+            }
+            Some(head) => {
+                if fu_denied {
+                    StallCause::FuContention
+                } else if matches!(head.op.instr, Instr::Load { .. }) && self.load_blocked(head) {
+                    StallCause::Memory
+                } else if let Some(cause) = dispatch_block {
+                    cause
+                } else {
+                    StallCause::Frontend
+                }
+            }
+            None => dispatch_block.unwrap_or(StallCause::Frontend),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -400,7 +505,7 @@ impl Simulator {
     // Fetch.
     // ------------------------------------------------------------------
 
-    fn fetch(&mut self, trace: &mut impl Iterator<Item = DynOp>) {
+    fn fetch<S: EventSink>(&mut self, trace: &mut impl Iterator<Item = DynOp>, sink: &mut S) {
         // Resolve a pending branch redirect once the branch executes.
         if let Some(seq) = self.pending_redirect {
             let done = self.ifo(seq).filter(|i| i.issued).map(|i| i.done_cycle);
@@ -408,6 +513,15 @@ impl Simulator {
                 Some(d) if self.cycle >= d => {
                     self.pending_redirect = None;
                     self.fetch_blocked_until = d + u64::from(self.config.mispredict_penalty);
+                    if S::ENABLED {
+                        sink.record(
+                            self.cycle,
+                            &PipeEvent::FetchRedirect {
+                                seq,
+                                resume_cycle: self.fetch_blocked_until,
+                            },
+                        );
+                    }
                 }
                 _ => return,
             }
@@ -437,6 +551,15 @@ impl Simulator {
                 op,
                 ready_cycle: ready,
             });
+            if S::ENABLED {
+                sink.record(
+                    self.cycle,
+                    &PipeEvent::Fetch {
+                        seq: op.seq,
+                        pc: op.pc,
+                    },
+                );
+            }
             if is_halt {
                 self.fetch_stopped = true;
                 break;
@@ -456,7 +579,11 @@ impl Simulator {
         (self.dispatched_total - self.committed_total) < u64::from(self.config.rob_entries)
     }
 
-    fn dispatch(&mut self) {
+    /// Dispatch up to one front-end width of fetched ops. Returns the
+    /// back-pressure reason that stopped dispatch while an op was ready,
+    /// if any (the structural-hazard input to stall attribution).
+    fn dispatch<S: EventSink>(&mut self, sink: &mut S) -> Option<StallCause> {
+        let mut block = None;
         for _ in 0..self.config.frontend_width {
             let Some(head) = self.fetchq.front() else {
                 break;
@@ -466,18 +593,25 @@ impl Simulator {
             }
             let op = head.op;
             let is_mem = op.instr.is_mem();
-            if !self.rob_free()
-                || self.rse_used >= self.config.rse_entries
-                || (is_mem && self.lsq_used >= self.config.lsq_entries)
-            {
+            if !self.rob_free() {
+                block = Some(StallCause::RobFull);
+                break;
+            }
+            if self.rse_used >= self.config.rse_entries {
+                block = Some(StallCause::RsFull);
+                break;
+            }
+            if is_mem && self.lsq_used >= self.config.lsq_entries {
+                block = Some(StallCause::LsqFull);
                 break;
             }
             self.fetchq.pop_front();
-            self.allocate(op);
+            self.allocate(op, sink);
         }
+        block
     }
 
-    fn allocate(&mut self, op: DynOp) {
+    fn allocate<S: EventSink>(&mut self, op: DynOp, sink: &mut S) {
         let seq = self.next_seq;
         debug_assert_eq!(seq, op.seq, "trace must be consumed in order");
         let class = op.instr.exec_class();
@@ -604,6 +738,7 @@ impl Simulator {
             avail: 0,
             done_cycle: 0,
             transparent: false,
+            held_two: false,
             chain_len: 1,
             chain_extended: false,
             committed: false,
@@ -624,6 +759,16 @@ impl Simulator {
         self.rse_used += 1;
         if op.instr.is_mem() {
             self.lsq_used += 1;
+        }
+        if S::ENABLED {
+            sink.record(
+                self.cycle,
+                &PipeEvent::Dispatch {
+                    seq,
+                    pc: op.pc,
+                    pool,
+                },
+            );
         }
     }
 
@@ -731,7 +876,9 @@ impl Simulator {
         }
     }
 
-    fn select_and_issue(&mut self) {
+    /// One wakeup/select/issue pass. Returns whether a non-speculative
+    /// request was denied a unit this cycle (the FU-contention signal).
+    fn select_and_issue<S: EventSink>(&mut self, sink: &mut S) -> bool {
         // Gather requests per pool.
         let mut requests: Vec<(PoolKind, Vec<(u64, bool)>)> =
             [PoolKind::Alu, PoolKind::Simd, PoolKind::Fp, PoolKind::Mem]
@@ -776,7 +923,10 @@ impl Simulator {
                     continue;
                 }
                 free -= 1; // the grant slot is consumed even if wasted
-                match self.try_issue(seq, spec, &granted_this_cycle) {
+                if S::ENABLED {
+                    sink.record(self.cycle, &PipeEvent::SelectGrant { seq, spec });
+                }
+                match self.try_issue(seq, spec, &granted_this_cycle, sink) {
                     IssueOutcome::Issued => granted_this_cycle.push(seq),
                     IssueOutcome::TagMispredict
                     | IssueOutcome::SpecNotRecyclable
@@ -787,22 +937,48 @@ impl Simulator {
         if stalled {
             self.report.fu_stall_cycles += 1;
         }
+        stalled
     }
 
     /// Attempt to issue `seq` (granted by select this cycle).
     #[allow(clippy::too_many_lines)]
-    fn try_issue(&mut self, seq: u64, spec: bool, granted: &[u64]) -> IssueOutcome {
+    fn try_issue<S: EventSink>(
+        &mut self,
+        seq: u64,
+        spec: bool,
+        granted: &[u64],
+        sink: &mut S,
+    ) -> IssueOutcome {
         let t = self.cycle;
         let q = self.quant;
         let arrival = q.cycle_start(t + 1);
-        let x = self.ifo(seq).expect("requesting entry exists").clone();
+        // Snapshot the Copy scalars once; `srcs` — the only non-Copy field
+        // needed — is re-borrowed per read-only phase below, which keeps
+        // the hot path free of a full-entry clone.
+        let (op, class, recyclable, pool, pred_last, pred_pos, ext_ticks, pred_width, fallback) = {
+            let x = self.ifo(seq).expect("requesting entry exists");
+            (
+                x.op,
+                x.class,
+                x.recyclable,
+                x.pool,
+                x.pred_last,
+                x.pred_pos,
+                x.ext_ticks,
+                x.pred_width,
+                x.fallback,
+            )
+        };
 
         if spec {
             // EGPW grant: useful only when the parent issued *this* cycle
             // and leaves recyclable slack within its execution cycle
             // (§IV-A, §IV-D "recycling decision").
-            let Some(parent_tag) = x.pred_last else {
+            let Some(parent_tag) = pred_last else {
                 self.report.egpw_wasted += 1;
+                if S::ENABLED {
+                    sink.record(t, &PipeEvent::SpecWasted { seq });
+                }
                 return IssueOutcome::SpecNotRecyclable;
             };
             let parent_granted = granted.contains(&parent_tag);
@@ -811,6 +987,9 @@ impl Simulator {
                     // Skewed arbitration: the child can never race ahead of
                     // its parent; the grant is simply unused.
                     self.report.egpw_wasted += 1;
+                    if S::ENABLED {
+                        sink.record(t, &PipeEvent::SpecWasted { seq });
+                    }
                     return IssueOutcome::SpecNotRecyclable;
                 }
                 // Unskewed: the child was selected ahead of its parent —
@@ -819,53 +998,88 @@ impl Simulator {
                 let pen = u64::from(self.config.sched.tag_mispredict_penalty);
                 let x = self.ifo_mut(seq).expect("entry");
                 x.earliest_req = t + pen;
+                if S::ENABLED {
+                    sink.record(
+                        t,
+                        &PipeEvent::GpMispeculation {
+                            seq,
+                            retry_cycle: t + pen,
+                        },
+                    );
+                }
                 return IssueOutcome::GpMispeculation;
             }
-            let p = self.ifo(parent_tag).expect("granted parent in flight");
-            let recycle_ok = p.recyclable
-                && p.pool == x.pool
-                && p.avail < q.cycle_start(t + 2) // completes within its own cycle
-                && q.ci_of(p.avail) <= self.config.sched.threshold_ticks
-                && q.ci_of(p.avail) != 0;
-            // All other operands must be ready in time as well.
-            let others_ok = x
-                .srcs
-                .iter()
-                .all(|&s| s == parent_tag || self.src_sel_ready(s, &x).is_some_and(|r| r <= t));
-            if !(recycle_ok && others_ok) {
+            let usable = {
+                let x = self.ifo(seq).expect("requesting entry exists");
+                let p = self.ifo(parent_tag).expect("granted parent in flight");
+                let recycle_ok = p.recyclable
+                    && p.pool == x.pool
+                    && p.avail < q.cycle_start(t + 2) // completes within its own cycle
+                    && q.ci_of(p.avail) <= self.config.sched.threshold_ticks
+                    && q.ci_of(p.avail) != 0;
+                // All other operands must be ready in time as well.
+                let others_ok = x
+                    .srcs
+                    .iter()
+                    .all(|&s| s == parent_tag || self.src_sel_ready(s, x).is_some_and(|r| r <= t));
+                recycle_ok && others_ok
+            };
+            if !usable {
                 self.report.egpw_wasted += 1;
+                if S::ENABLED {
+                    sink.record(t, &PipeEvent::SpecWasted { seq });
+                }
                 return IssueOutcome::SpecNotRecyclable;
             }
         } else {
             // Scoreboard validation of the last-arrival prediction
             // (operational design, §IV-C): every operand *not* predicted
             // last must already be available.
-            let use_pred =
-                self.config.sched.mode == SchedMode::Redsoc && x.recyclable && !x.fallback;
+            let use_pred = self.config.sched.mode == SchedMode::Redsoc && recyclable && !fallback;
             if use_pred {
-                let not_ready: Option<u64> = x.srcs.iter().copied().find(|&s| {
-                    Some(s) != x.pred_last && self.src_sel_ready(s, &x).is_none_or(|r| r > t)
-                });
-                if let Some(late) = not_ready {
+                // `late_is_src0` resolves the misprediction direction while
+                // the srcs borrow is live.
+                let not_ready: Option<bool> = {
+                    let x = self.ifo(seq).expect("requesting entry exists");
+                    x.srcs
+                        .iter()
+                        .copied()
+                        .find(|&s| {
+                            Some(s) != pred_last && self.src_sel_ready(s, x).is_none_or(|r| r > t)
+                        })
+                        .map(|late| {
+                            matches!(pred_pos, Some((Some(_), i0, _)) if x.srcs.get(i0) == Some(&late))
+                        })
+                };
+                if let Some(late_is_src0) = not_ready {
                     // Tag mispredict: recover by falling back to
                     // all-operand wakeup after a small penalty.
-                    if let Some((Some(pred), i0, _i1)) = x.pred_pos {
-                        let actual = if x.srcs.get(i0) == Some(&late) {
+                    if let Some((Some(pred), _i0, _i1)) = pred_pos {
+                        let actual = if late_is_src0 {
                             LastArrival::Src0
                         } else {
                             LastArrival::Src1
                         };
-                        self.tag_pred.update(x.op.pc, pred, actual);
+                        self.tag_pred.update(op.pc, pred, actual);
                     }
                     let pen = u64::from(self.config.sched.tag_mispredict_penalty);
                     let xm = self.ifo_mut(seq).expect("entry");
                     xm.fallback = true;
                     xm.earliest_req = t + pen;
+                    if S::ENABLED {
+                        sink.record(
+                            t,
+                            &PipeEvent::TagMispredict {
+                                seq,
+                                retry_cycle: t + pen,
+                            },
+                        );
+                    }
                     return IssueOutcome::TagMispredict;
                 }
                 // Correct prediction: train towards the observed behaviour.
-                if let Some((Some(pred), _, _)) = x.pred_pos {
-                    self.tag_pred.update(x.op.pc, pred, pred);
+                if let Some((Some(pred), _, _)) = pred_pos {
+                    self.tag_pred.update(op.pc, pred, pred);
                 }
             }
         }
@@ -873,34 +1087,41 @@ impl Simulator {
         // Confidence warm-up: when no prediction was consumed, train the
         // predictor with the observed last-arrival order of the two
         // candidates.
-        if let Some((None, i0, i1)) = x.pred_pos {
-            let ready = |pos: usize| {
-                x.srcs
-                    .get(pos)
-                    .and_then(|&s| self.ifo(s))
-                    .map_or(0, |p| p.sel_ready)
+        if let Some((None, i0, i1)) = pred_pos {
+            let actual = {
+                let x = self.ifo(seq).expect("requesting entry exists");
+                let ready = |pos: usize| {
+                    x.srcs
+                        .get(pos)
+                        .and_then(|&s| self.ifo(s))
+                        .map_or(0, |p| p.sel_ready)
+                };
+                if ready(i0) > ready(i1) {
+                    LastArrival::Src0
+                } else {
+                    LastArrival::Src1
+                }
             };
-            let actual = if ready(i0) > ready(i1) {
-                LastArrival::Src0
-            } else {
-                LastArrival::Src1
-            };
-            self.tag_pred.train_only(x.op.pc, actual);
+            self.tag_pred.train_only(op.pc, actual);
         }
 
         // Compute the evaluation start: the latest source availability,
         // never earlier than FU arrival.
-        let mut start = arrival;
-        let mut trans_src: Option<u64> = None;
-        for &s in &x.srcs {
-            let (a, transparent) = self.avail_for(s, &x);
-            if a > start {
-                start = a;
-                trans_src = transparent.then_some(s);
-            } else if a == start && transparent && start > arrival {
-                trans_src = Some(s);
+        let (start, trans_src) = {
+            let x = self.ifo(seq).expect("requesting entry exists");
+            let mut start = arrival;
+            let mut trans_src: Option<u64> = None;
+            for &s in &x.srcs {
+                let (a, transparent) = self.avail_for(s, x);
+                if a > start {
+                    start = a;
+                    trans_src = transparent.then_some(s);
+                } else if a == start && transparent && start > arrival {
+                    trans_src = Some(s);
+                }
             }
-        }
+            (start, trans_src)
+        };
         if start >= q.cycle_start(t + 2) {
             // Defensive: the value only materialises after our FU hold.
             let xm = self.ifo_mut(seq).expect("entry");
@@ -911,18 +1132,18 @@ impl Simulator {
         // Per-class completion/occupancy.
         let mode = self.config.sched.mode;
         let tpc = q.ticks_per_cycle();
-        let (sel_ready, avail, done_cycle, occupancy, l1_miss) = match x.class {
-            _ if x.recyclable => {
+        let (sel_ready, avail, done_cycle, occupancy, l1_miss, held_two) = match class {
+            _ if recyclable => {
                 if mode == SchedMode::Redsoc {
                     // Width-prediction validation at execute (§II-B).
-                    let mut ext = x.ext_ticks;
+                    let mut ext = ext_ticks;
                     let mut replay = 0u64;
-                    if x.class == ExecClass::IntAlu {
-                        let actual = WidthClass::from_bits(x.op.eff_bits);
-                        let outcome = self.width_pred.update(x.op.pc, x.pred_width, actual);
+                    if class == ExecClass::IntAlu {
+                        let actual = WidthClass::from_bits(op.eff_bits);
+                        let outcome = self.width_pred.update(op.pc, pred_width, actual);
                         if outcome == WidthOutcome::Aggressive {
                             // Selective reissue: full-width re-execution.
-                            let bucket = SlackBucket::classify(&x.op.instr, WidthClass::W32)
+                            let bucket = SlackBucket::classify(&op.instr, WidthClass::W32)
                                 .expect("ALU classifies");
                             ext = q.ps_to_ticks_ceil(self.lut.compute_ps(bucket));
                             replay = u64::from(self.config.sched.width_replay_penalty) * tpc;
@@ -946,15 +1167,16 @@ impl Simulator {
                         q.cycle_of(q.ceil_to_cycle(completion)).max(t + 2),
                         occ as u32,
                         false,
+                        crossing,
                     )
                 } else {
                     // Baseline / MOS: one full cycle, boundary completion.
-                    (t + 1, q.cycle_start(t + 2), t + 2, 1, false)
+                    (t + 1, q.cycle_start(t + 2), t + 2, 1, false, false)
                 }
             }
             ExecClass::IntMul => {
                 let l = u64::from(self.latencies.int_mul);
-                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false)
+                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false, false)
             }
             ExecClass::IntDiv => {
                 let l = u64::from(self.latencies.int_div);
@@ -964,10 +1186,11 @@ impl Simulator {
                     t + 1 + l,
                     self.latencies.int_div,
                     false,
+                    false,
                 )
             }
             ExecClass::Fp => {
-                let instr_lat = match x.op.instr {
+                let instr_lat = match op.instr {
                     Instr::Fp {
                         op: redsoc_isa::opcode::FpOp::Fdiv,
                         ..
@@ -979,22 +1202,26 @@ impl Simulator {
                     _ => self.latencies.fp_add,
                 };
                 let l = u64::from(instr_lat);
-                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false)
+                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false, false)
             }
             ExecClass::SimdMul => {
                 let l = u64::from(self.latencies.simd_mul);
-                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false)
+                (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false, false)
             }
             ExecClass::Load => {
-                if let Some(store) = self.forwarding_store(&x) {
+                let fwd_ready = {
+                    let x = self.ifo(seq).expect("requesting entry exists");
+                    self.forwarding_store(x).map(|s| s.done_cycle)
+                };
+                if let Some(store_done) = fwd_ready {
                     // Store-to-load forwarding: 2-cycle effective latency
                     // once the store's data is in the LSQ.
-                    let ready = store.done_cycle.max(t);
+                    let ready = store_done.max(t);
                     let l = (ready - t) + 2;
-                    (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false)
+                    (t + l, q.cycle_start(t + 1 + l), t + 1 + l, 1, false, false)
                 } else {
-                    let addr = u64::from(x.op.eff_addr.expect("loads carry addresses"));
-                    let res = self.memory.access(x.op.pc, addr, false);
+                    let addr = u64::from(op.eff_addr.expect("loads carry addresses"));
+                    let res = self.memory.access(op.pc, addr, false);
                     let l = 1 + u64::from(res.latency_cycles); // AGU + access
                     (
                         t + l,
@@ -1002,19 +1229,21 @@ impl Simulator {
                         t + 1 + l,
                         1,
                         res.outcome.is_high_latency(),
+                        false,
                     )
                 }
             }
-            ExecClass::Store => (t + 1, q.cycle_start(t + 2), t + 2, 1, false),
-            ExecClass::Branch => (t + 1, q.cycle_start(t + 2), t + 2, 1, false),
+            ExecClass::Store => (t + 1, q.cycle_start(t + 2), t + 2, 1, false, false),
+            ExecClass::Branch => (t + 1, q.cycle_start(t + 2), t + 2, 1, false, false),
             ExecClass::IntAlu | ExecClass::SimdAlu => {
                 unreachable!("single-cycle ALU classes are always recyclable")
             }
         };
 
         // MOS fusion is attempted after the producer issues (below).
-        let reserved = self.pool_mut(x.pool).reserve(t + 1, occupancy.max(1));
-        debug_assert!(reserved, "select only grants when a unit is free");
+        let unit = self.pool_mut(pool).reserve(t + 1, occupancy.max(1));
+        debug_assert!(unit.is_some(), "select only grants when a unit is free");
+        let unit = unit.unwrap_or(0);
 
         let transparent = start > arrival;
         // Chain accounting (Fig. 11).
@@ -1048,13 +1277,36 @@ impl Simulator {
             xm.avail = avail;
             xm.done_cycle = done_cycle;
             xm.transparent = transparent;
+            xm.held_two = held_two;
             xm.chain_len = chain_len;
             xm.l1_miss = l1_miss;
         }
         self.rse_used -= 1;
+        if S::ENABLED {
+            sink.record(
+                t,
+                &PipeEvent::Issue {
+                    seq,
+                    pool,
+                    unit,
+                    start_tick: start,
+                    avail_tick: avail,
+                    occupancy: occupancy.max(1),
+                    transparent,
+                    spec,
+                },
+            );
+            sink.record(
+                t,
+                &PipeEvent::CiBroadcast {
+                    seq,
+                    avail_tick: avail,
+                },
+            );
+        }
 
-        if mode == SchedMode::Mos && x.recyclable {
-            self.fuse_chain(seq, t);
+        if mode == SchedMode::Mos && recyclable {
+            self.fuse_chain(seq, t, unit, sink);
         }
         IssueOutcome::Issued
     }
@@ -1062,13 +1314,13 @@ impl Simulator {
     /// MOS (§VI-D): after issuing `producer`, greedily pack dependent
     /// single-cycle ops into the same execution cycle while their summed
     /// compute times fit within one clock period.
-    fn fuse_chain(&mut self, producer: u64, t: u64) {
+    fn fuse_chain<S: EventSink>(&mut self, producer: u64, t: u64, unit: u32, sink: &mut S) {
         let q = self.quant;
         let tpc = q.ticks_per_cycle();
         let mut head = producer;
         let mut budget = self.ifo(head).expect("producer").ext_ticks;
         loop {
-            let head_ifo = self.ifo(head).expect("chain head").clone();
+            let head_pool = self.ifo(head).expect("chain head").pool;
             // Find the oldest waiting recyclable consumer of `head` whose
             // other operands are already at the FU boundary.
             let candidate = self
@@ -1078,7 +1330,7 @@ impl Simulator {
                     !y.issued
                         && !y.committed
                         && y.recyclable
-                        && y.pool == head_ifo.pool
+                        && y.pool == head_pool
                         && y.earliest_req <= t + 1
                         && y.srcs.contains(&head)
                         && budget + y.ext_ticks <= tpc
@@ -1089,6 +1341,7 @@ impl Simulator {
                 .min_by_key(|y| y.op.seq)
                 .map(|y| y.op.seq);
             let Some(ynum) = candidate else { break };
+            let start_offset = budget; // fused op starts after the chain so far
             budget += self.ifo(ynum).expect("candidate").ext_ticks;
             // The fused op rides the producer's FU and completes at the
             // same boundary.
@@ -1103,6 +1356,28 @@ impl Simulator {
             }
             self.rse_used -= 1;
             self.report.recycled_ops += 1; // fused ops saved a cycle
+            if S::ENABLED {
+                sink.record(
+                    t,
+                    &PipeEvent::Issue {
+                        seq: ynum,
+                        pool: head_pool,
+                        unit,
+                        start_tick: q.cycle_start(t + 1) + start_offset,
+                        avail_tick: q.cycle_start(t + 2),
+                        occupancy: 0, // fused: rides the producer's unit
+                        transparent: false,
+                        spec: false,
+                    },
+                );
+                sink.record(
+                    t,
+                    &PipeEvent::CiBroadcast {
+                        seq: ynum,
+                        avail_tick: q.cycle_start(t + 2),
+                    },
+                );
+            }
             head = ynum;
         }
     }
@@ -1111,7 +1386,7 @@ impl Simulator {
     // Commit.
     // ------------------------------------------------------------------
 
-    fn commit(&mut self) {
+    fn commit<S: EventSink>(&mut self, sink: &mut S) {
         for _ in 0..self.config.frontend_width {
             let head_idx = (self.committed_total - self.base_seq) as usize;
             let Some(head) = self.ifos.get(head_idx) else {
@@ -1120,27 +1395,43 @@ impl Simulator {
             if !head.issued || self.cycle < head.done_cycle {
                 break;
             }
-            let head = head.clone();
+            // `DynOp` and the flags are Copy: no full-entry clone needed.
+            let (op, mut l1_miss, done_cycle) = (head.op, head.l1_miss, head.done_cycle);
             // Stores update the memory system at retirement.
-            let mut l1_miss = head.l1_miss;
-            if let Instr::Store { .. } = head.op.instr {
-                let addr = u64::from(head.op.eff_addr.expect("stores carry addresses"));
-                let res = self.memory.access(head.op.pc, addr, true);
+            if let Instr::Store { .. } = op.instr {
+                let addr = u64::from(op.eff_addr.expect("stores carry addresses"));
+                let res = self.memory.access(op.pc, addr, true);
                 l1_miss = res.outcome.is_high_latency();
             }
             // Fig. 10 classification uses the *actual* operand width.
             let cat = OpCategory::classify(
-                &head.op.instr,
+                &op.instr,
                 l1_miss,
-                WidthClass::from_bits(head.op.eff_bits),
+                WidthClass::from_bits(op.eff_bits),
                 &self.lut,
             );
             self.report.op_mix.record(cat);
-            if head.op.instr.is_mem() {
+            if op.instr.is_mem() {
                 self.lsq_used -= 1;
             }
             self.ifos[head_idx].committed = true;
             self.committed_total += 1;
+            if S::ENABLED {
+                sink.record(
+                    self.cycle,
+                    &PipeEvent::Writeback {
+                        seq: op.seq,
+                        done_cycle,
+                    },
+                );
+                sink.record(
+                    self.cycle,
+                    &PipeEvent::Commit {
+                        seq: op.seq,
+                        pc: op.pc,
+                    },
+                );
+            }
         }
         // Retire old entries lazily, keeping a window behind the head so
         // chain statistics and RAT references stay resolvable.
@@ -1176,6 +1467,20 @@ pub fn simulate(
     config: CoreConfig,
 ) -> Result<SimReport, SimError> {
     Simulator::new(config)?.run(trace)
+}
+
+/// Convenience: simulate `trace` on `config`, streaming pipeline events
+/// into `sink` (see [`Simulator::run_events`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from construction or the run.
+pub fn simulate_events<S: EventSink>(
+    trace: impl Iterator<Item = DynOp>,
+    config: CoreConfig,
+    sink: &mut S,
+) -> Result<SimReport, SimError> {
+    Simulator::new(config)?.run_events(trace, sink)
 }
 
 #[cfg(test)]
@@ -1428,6 +1733,124 @@ mod tests {
             SchedulerConfig::redsoc(),
         );
         assert_eq!(rep.committed, 1);
+    }
+
+    /// Build a simulator with one in-flight op that can never issue: the
+    /// watchdog must fire instead of spinning forever.
+    fn stuck_simulator() -> Simulator {
+        use crate::events::NullSink;
+        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+        let mut sim = Simulator::new(config).expect("valid config");
+        let instr = Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(0)),
+            src1: Some(r(1)),
+            op2: Operand2::Imm(1),
+            set_flags: false,
+        };
+        sim.allocate(DynOp::simple(0, 0, instr), &mut NullSink);
+        sim.ifos[0].earliest_req = u64::MAX; // never requests selection
+        sim.fetch_stopped = true;
+        sim
+    }
+
+    #[test]
+    fn watchdog_fires_on_stuck_pipeline_with_event_dump() {
+        use crate::events::RingSink;
+        let mut ring = RingSink::new(64);
+        let err = stuck_simulator()
+            .run_events(std::iter::empty(), &mut ring)
+            .expect_err("stuck pipeline must deadlock, not hang");
+        let SimError::Deadlock {
+            cycle,
+            committed,
+            recent_events,
+        } = err.clone()
+        else {
+            panic!("expected Deadlock, got {err:?}");
+        };
+        assert!(cycle > 100_000, "watchdog threshold: fired at {cycle}");
+        assert_eq!(committed, 0);
+        // The ring collapses the 100k-cycle stall run, so the dispatch that
+        // preceded it survives in the dump alongside the stall summary.
+        assert!(
+            recent_events.iter().any(|e| e.contains("StallCycle")),
+            "diagnostic must show the stall run: {recent_events:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("no commit progress"));
+        assert!(msg.contains("pipeline events"));
+    }
+
+    #[test]
+    fn watchdog_without_events_reports_empty_dump() {
+        let err = stuck_simulator()
+            .run(std::iter::empty())
+            .expect_err("stuck pipeline must deadlock");
+        let SimError::Deadlock { recent_events, .. } = &err else {
+            panic!("expected Deadlock, got {err:?}");
+        };
+        assert!(recent_events.is_empty(), "NullSink retains nothing");
+        assert!(err.to_string().contains("events were disabled"));
+    }
+
+    #[test]
+    fn stall_attribution_partitions_cycles() {
+        for sched in [
+            SchedulerConfig::baseline(),
+            SchedulerConfig::redsoc(),
+            SchedulerConfig::mos(),
+        ] {
+            let rep = run_mode(&logic_chain_trace(2000), sched);
+            assert_eq!(
+                rep.stalls.total(),
+                rep.cycles,
+                "stall categories must partition cycles: {:?}",
+                rep.stalls
+            );
+            assert!(rep.stalls.busy > 0, "a committing run has busy cycles");
+        }
+        // The empty-trace edge case: one reported cycle, one charge.
+        let rep = run_mode(
+            &[DynOp::simple(0, 0, Instr::Halt)],
+            SchedulerConfig::redsoc(),
+        );
+        assert_eq!(rep.stalls.total(), rep.cycles);
+    }
+
+    #[test]
+    fn event_sinks_do_not_perturb_the_simulation() {
+        use crate::events::{PipeEvent, VecSink};
+        let trace = logic_chain_trace(500);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+        let quiet = Simulator::new(config.clone())
+            .unwrap()
+            .run(trace.iter().copied())
+            .unwrap();
+        let mut sink = VecSink::new();
+        let traced = Simulator::new(config)
+            .unwrap()
+            .run_events(trace.iter().copied(), &mut sink)
+            .unwrap();
+        assert_eq!(
+            format!("{quiet:?}"),
+            format!("{traced:?}"),
+            "recording events must not change any statistic"
+        );
+        let commits = sink
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, PipeEvent::Commit { .. }))
+            .count() as u64;
+        assert_eq!(commits, traced.committed, "one commit event per retire");
+        let issues = sink
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, PipeEvent::Issue { .. }))
+            .count() as u64;
+        assert!(issues >= traced.committed, "every committed op issued");
+        // Events arrive in non-decreasing cycle order.
+        assert!(sink.events.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -183,6 +183,140 @@ impl ChainStats {
     }
 }
 
+/// The cause a non-retiring cycle is attributed to. Exactly one cause is
+/// charged per simulated cycle (retiring cycles are charged to `Busy`), so
+/// the per-cause counters in [`StallBreakdown`] partition total cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallCause {
+    /// At least one instruction retired this cycle.
+    Busy,
+    /// ROB empty (or only just-fetched work): the front end is not
+    /// supplying instructions — fetch redirects, drained trace tail.
+    Frontend,
+    /// Dispatch blocked because the reorder buffer is full.
+    RobFull,
+    /// Dispatch blocked because the reservation stations are full.
+    RsFull,
+    /// Dispatch blocked because the load/store queue is full.
+    LsqFull,
+    /// The ROB head is ready but was denied issue by a busy FU pool.
+    FuContention,
+    /// The ROB head is waiting on the memory hierarchy (issued load/store
+    /// in flight, or a load blocked on an older unresolved store).
+    Memory,
+    /// The ROB head issued transparently and is holding its FU across a
+    /// clock boundary (the two-cycle hold of boundary-crossing recycled
+    /// evaluation, IT3).
+    SlackHold,
+    /// The ROB head is mid-execution on a multi-cycle non-memory op, or
+    /// otherwise waiting on operands to arrive.
+    ExecLatency,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    #[must_use]
+    pub fn all() -> [StallCause; 9] {
+        [
+            StallCause::Busy,
+            StallCause::Frontend,
+            StallCause::RobFull,
+            StallCause::RsFull,
+            StallCause::LsqFull,
+            StallCause::FuContention,
+            StallCause::Memory,
+            StallCause::SlackHold,
+            StallCause::ExecLatency,
+        ]
+    }
+
+    /// Stable machine-readable label (JSONL `cause` field, sweep JSON
+    /// key).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Busy => "busy",
+            StallCause::Frontend => "frontend",
+            StallCause::RobFull => "rob_full",
+            StallCause::RsFull => "rs_full",
+            StallCause::LsqFull => "lsq_full",
+            StallCause::FuContention => "fu_contention",
+            StallCause::Memory => "memory",
+            StallCause::SlackHold => "slack_hold",
+            StallCause::ExecLatency => "exec_latency",
+        }
+    }
+}
+
+/// Per-cause cycle counters. The simulator charges exactly one cause per
+/// cycle, so [`StallBreakdown::total`] equals [`SimReport::cycles`] — the
+/// partition invariant the grid property test enforces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles in which at least one instruction retired.
+    pub busy: u64,
+    /// Cycles stalled on instruction supply.
+    pub frontend: u64,
+    /// Cycles stalled on a full reorder buffer.
+    pub rob_full: u64,
+    /// Cycles stalled on full reservation stations.
+    pub rs_full: u64,
+    /// Cycles stalled on a full load/store queue.
+    pub lsq_full: u64,
+    /// Cycles stalled on functional-unit contention.
+    pub fu_contention: u64,
+    /// Cycles stalled on the memory hierarchy.
+    pub memory: u64,
+    /// Cycles stalled on a boundary-crossing transparent FU hold.
+    pub slack_hold: u64,
+    /// Cycles stalled on multi-cycle execution / operand arrival.
+    pub exec_latency: u64,
+}
+
+impl StallBreakdown {
+    /// Charge one cycle to `cause`.
+    pub fn bump(&mut self, cause: StallCause) {
+        *self.slot(cause) += 1;
+    }
+
+    fn slot(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::Busy => &mut self.busy,
+            StallCause::Frontend => &mut self.frontend,
+            StallCause::RobFull => &mut self.rob_full,
+            StallCause::RsFull => &mut self.rs_full,
+            StallCause::LsqFull => &mut self.lsq_full,
+            StallCause::FuContention => &mut self.fu_contention,
+            StallCause::Memory => &mut self.memory,
+            StallCause::SlackHold => &mut self.slack_hold,
+            StallCause::ExecLatency => &mut self.exec_latency,
+        }
+    }
+
+    /// Counter for one cause.
+    #[must_use]
+    pub fn count(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::Busy => self.busy,
+            StallCause::Frontend => self.frontend,
+            StallCause::RobFull => self.rob_full,
+            StallCause::RsFull => self.rs_full,
+            StallCause::LsqFull => self.lsq_full,
+            StallCause::FuContention => self.fu_contention,
+            StallCause::Memory => self.memory,
+            StallCause::SlackHold => self.slack_hold,
+            StallCause::ExecLatency => self.exec_latency,
+        }
+    }
+
+    /// Sum over all causes — equals total simulated cycles by
+    /// construction.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        StallCause::all().iter().map(|&c| self.count(c)).sum()
+    }
+}
+
 /// Full simulation report.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
@@ -218,6 +352,8 @@ pub struct SimReport {
     pub branch: BranchStats,
     /// Memory hierarchy results.
     pub memory: HierarchyStats,
+    /// Per-cycle stall attribution; `stalls.total() == cycles` always.
+    pub stalls: StallBreakdown,
 }
 
 impl SimReport {
@@ -330,6 +466,24 @@ mod tests {
         assert!((c.mean() - 4.0).abs() < 1e-12);
         // Weighted: (4 + 36) / (2 + 6) = 5.0
         assert!((c.weighted_mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_breakdown_partitions_by_construction() {
+        let mut b = StallBreakdown::default();
+        for (i, cause) in StallCause::all().into_iter().enumerate() {
+            for _ in 0..=i {
+                b.bump(cause);
+            }
+        }
+        // 1 + 2 + ... + 9 charges in total.
+        assert_eq!(b.total(), 45);
+        assert_eq!(b.count(StallCause::Busy), 1);
+        assert_eq!(b.count(StallCause::ExecLatency), 9);
+        assert_eq!(b.busy + b.frontend + b.rob_full + b.rs_full, 1 + 2 + 3 + 4);
+        for cause in StallCause::all() {
+            assert!(!cause.label().is_empty());
+        }
     }
 
     #[test]

@@ -89,19 +89,32 @@ impl TagPredictor {
     #[must_use]
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "need at least one entry");
+        let n = entries.next_power_of_two();
+        assert!(n.is_power_of_two(), "table size must be a power of two");
         TagPredictor {
             entries: vec![
                 Entry {
                     last_is_src1: true,
                     conf: 0
                 };
-                entries.next_power_of_two()
+                n
             ],
             stats: TagPredStats::default(),
         }
     }
 
+    /// Actual table capacity (the requested size rounded up to a power of
+    /// two — the `slot` mask below is only a modulo for power-of-two
+    /// sizes).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
     fn slot(&self, pc: u32) -> usize {
+        // Word-PC indexing. The mask is a correct modulo *only* because the
+        // constructor rounds the table to a power of two.
+        debug_assert!(self.entries.len().is_power_of_two());
         (pc as usize >> 2) & (self.entries.len() - 1)
     }
 
@@ -205,6 +218,34 @@ mod tests {
         }
         assert_eq!(p.predict(0x0), Some(LastArrival::Src0));
         assert_eq!(p.predict(0x4), Some(LastArrival::Src1));
+    }
+
+    #[test]
+    fn non_power_of_two_size_rounds_up_and_hits_every_slot() {
+        // A 100-entry request must become 128 slots; with a raw
+        // `& (len - 1)` over 100 entries (`& 99` = 0b1100011), word-PCs
+        // 32..64 would alias onto 0..32 and bits 2–4 of the index would be
+        // masked off entirely.
+        let mut p = TagPredictor::new(100);
+        assert_eq!(p.capacity(), 128);
+        // Train every slot with a period-3 direction pattern (a period-2
+        // pattern would survive the aliasing, which preserves bit 0); any
+        // aliasing cross-trains two PCs and destroys one's confidence.
+        let dir = |slot: u32| {
+            if slot.is_multiple_of(3) {
+                LastArrival::Src0
+            } else {
+                LastArrival::Src1
+            }
+        };
+        for slot in 0..128u32 {
+            for _ in 0..4 {
+                p.train_only(slot * 4, dir(slot));
+            }
+        }
+        for slot in 0..128u32 {
+            assert_eq!(p.predict(slot * 4), Some(dir(slot)), "slot {slot} aliased");
+        }
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl WidthPredictor {
             "confidence bits must be in 1..=7"
         );
         let n = entries.next_power_of_two();
+        assert!(n.is_power_of_two(), "table size must be a power of two");
         WidthPredictor {
             entries: vec![
                 Entry {
@@ -131,8 +132,19 @@ impl WidthPredictor {
         WidthPredictor::new(DEFAULT_ENTRIES, DEFAULT_CONF_BITS)
     }
 
+    /// Actual table capacity (the requested size rounded up to a power of
+    /// two — the `slot` mask below is only a modulo for power-of-two
+    /// sizes).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
     fn slot(&self, pc: u32) -> usize {
-        // Word-PC indexing: drop the byte-offset bits.
+        // Word-PC indexing: drop the byte-offset bits. The mask is a
+        // correct modulo *only* because the constructor rounds the table to
+        // a power of two.
+        debug_assert!(self.entries.len().is_power_of_two());
         (pc as usize >> 2) & (self.entries.len() - 1)
     }
 
@@ -293,5 +305,34 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = WidthPredictor::new(0, 2);
+    }
+
+    #[test]
+    fn non_power_of_two_size_rounds_up_and_hits_every_slot() {
+        // A 100-entry request must become 128 slots. With a raw
+        // `& (len - 1)` over a 100-entry table (`& 99` = 0b1100011), index
+        // bits 2–4 would be silently dropped — word-PC 36 would alias onto
+        // 32 — and narrow/wide training at the aliased PCs would corrupt
+        // each other.
+        let mut p = WidthPredictor::new(100, 1);
+        assert_eq!(p.capacity(), 128);
+        // Period-3 width pattern: any masked-bit aliasing pairs at least
+        // two slots with different widths, so cross-training shows up as a
+        // wrong (conservative W32 or wrong-class) prediction below.
+        let width = |slot: u32| match slot % 3 {
+            0 => WidthClass::W8,
+            1 => WidthClass::W16,
+            _ => WidthClass::W32,
+        };
+        for slot in 0..128u32 {
+            for _ in 0..3 {
+                let pc = slot * 4;
+                let pred = p.predict(pc);
+                p.update(pc, pred, width(slot));
+            }
+        }
+        for slot in 0..128u32 {
+            assert_eq!(p.predict(slot * 4), width(slot), "slot {slot} aliased");
+        }
     }
 }

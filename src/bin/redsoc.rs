@@ -3,6 +3,8 @@
 //! ```sh
 //! redsoc list
 //! redsoc run bitcnt --core big --sched redsoc --len 200000
+//! redsoc run bitcnt --events bitcnt.jsonl
+//! redsoc trace conv --format chrome --out conv_trace.json
 //! redsoc compare crc --core medium
 //! redsoc sweep bzip2 --knob threshold
 //! redsoc bench --threads 8 --len 300000 --out BENCH_sweep.json
@@ -71,6 +73,21 @@ impl Flags {
     }
 }
 
+fn print_stalls(rep: &SimReport) {
+    println!("stall attribution ({} cycles):", rep.cycles);
+    for cause in StallCause::all() {
+        let n = rep.stalls.count(cause);
+        if n > 0 {
+            println!(
+                "  {:<14} {:>12}  ({:>5.1}%)",
+                cause.label(),
+                n,
+                n as f64 / rep.cycles as f64 * 100.0
+            );
+        }
+    }
+}
+
 fn print_report(label: &str, rep: &SimReport) {
     println!("--- {label} ---");
     println!("cycles        {:>12}", rep.cycles);
@@ -123,12 +140,89 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("bad --len: {e}"))?;
     let trace = bench.trace(len);
-    let rep = simulate(trace.into_iter(), core.clone().with_sched(sched.clone()))
-        .map_err(|e| e.to_string())?;
+    let cfg = core.clone().with_sched(sched.clone());
+    let rep = match flags.get("events") {
+        Some(path) => {
+            // Stream the full event log as JSONL while simulating.
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let rep =
+                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
+            let lines = sink.lines();
+            sink.finish();
+            println!("wrote {lines} events to {path}");
+            rep
+        }
+        None => {
+            // A bounded ring costs almost nothing and gives the deadlock
+            // watchdog a pipeline dump to attach to its error.
+            let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
+            simulate_events(trace.into_iter(), cfg, &mut ring).map_err(|e| e.to_string())?
+        }
+    };
     print_report(
         &format!("{} on {} ({:?})", bench.name(), core.name, sched.mode),
         &rep,
     );
+    print_stalls(&rep);
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args.first().ok_or("usage: redsoc trace <bench> [flags]")?)?;
+    let flags = Flags::parse(&args[1..])?;
+    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
+    let len: u64 = flags
+        .get("len")
+        .unwrap_or("20000")
+        .parse()
+        .map_err(|e| format!("bad --len: {e}"))?;
+    let format = flags.get("format").unwrap_or("chrome");
+    let trace = bench.trace(len);
+    let cfg = core.clone().with_sched(sched.clone());
+    match format {
+        "chrome" => {
+            let out = flags.get("out").unwrap_or("trace.json");
+            let mut sink = ChromeTraceSink::new(sched.quant().ticks_per_cycle());
+            let rep =
+                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
+            std::fs::write(out, sink.finish()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "{} on {} ({:?}): {} cycles, {} committed",
+                bench.name(),
+                core.name,
+                sched.mode,
+                rep.cycles,
+                rep.committed
+            );
+            println!(
+                "wrote {} trace rows to {out} (load in chrome://tracing or ui.perfetto.dev)",
+                sink.rows()
+            );
+        }
+        "jsonl" => {
+            let out = flags.get("out").unwrap_or("trace.jsonl");
+            let file =
+                std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let rep =
+                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
+            let lines = sink.lines();
+            sink.finish();
+            println!(
+                "{} on {} ({:?}): {} cycles, {} committed",
+                bench.name(),
+                core.name,
+                sched.mode,
+                rep.cycles,
+                rep.committed
+            );
+            println!("wrote {lines} events to {out}");
+        }
+        other => return Err(format!("unknown format {other:?} (chrome|jsonl)")),
+    }
     Ok(())
 }
 
@@ -271,6 +365,10 @@ fn usage() -> String {
      commands:\n\
      \x20 list                     list available benchmarks\n\
      \x20 run <bench> [flags]      simulate one benchmark\n\
+     \x20                          (--events FILE streams the pipeline event log as JSONL)\n\
+     \x20 trace <bench> [flags]    dump the pipeline event log\n\
+     \x20                          (--format chrome|jsonl  --out FILE;\n\
+     \x20                          chrome output loads in chrome://tracing)\n\
      \x20 compare <bench> [flags]  baseline vs ReDSOC vs TS vs MOS\n\
      \x20 sweep <bench> [flags]    design-knob sweep (--knob threshold|precision)\n\
      \x20 bench [flags]            full parallel sweep -> machine-readable JSON\n\
@@ -286,6 +384,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),

@@ -50,8 +50,11 @@ pub use redsoc_workloads as workloads;
 /// One-stop imports for driving simulations.
 pub mod prelude {
     pub use redsoc_core::config::{CoreConfig, SchedMode, SchedulerConfig};
-    pub use redsoc_core::sim::{simulate, SimError, Simulator};
-    pub use redsoc_core::stats::{OpCategory, SimReport};
+    pub use redsoc_core::events::{
+        ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
+    };
+    pub use redsoc_core::sim::{simulate, simulate_events, SimError, Simulator};
+    pub use redsoc_core::stats::{OpCategory, SimReport, StallBreakdown, StallCause};
     pub use redsoc_core::ts::{run_ts, TsResult};
     pub use redsoc_isa::prelude::*;
     pub use redsoc_timing::slack::{SlackBucket, SlackLut, WidthClass};
