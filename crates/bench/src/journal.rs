@@ -1,0 +1,445 @@
+//! Crash-safe sweep checkpointing: an append-only JSONL journal.
+//!
+//! As each grid job completes, the runner appends one self-contained JSON
+//! line — job key, a digest of the effective configuration, the measured
+//! wall-clock, and the job's [`CellSummary`] — and flushes it. If the
+//! process dies mid-sweep (crash, OOM kill, Ctrl-C), every line already
+//! flushed survives; `redsoc bench --resume <journal>` reloads them,
+//! skips the completed cells, and re-runs only what is missing, so the
+//! final sweep document is identical to an uninterrupted run (modulo
+//! wall-clock fields, which are measurement rather than simulation
+//! output).
+//!
+//! Robustness rules on load:
+//!
+//! - a **truncated trailing line** (no `\n`: the process died mid-write)
+//!   is dropped and the file is truncated back to the last complete
+//!   record, so subsequent appends never splice into garbage;
+//! - a **corrupt line** drops itself and everything after it (later
+//!   records may depend on state the corruption hides);
+//! - a record whose **digest** does not match the current configuration
+//!   (different trace length, core table, scheduler tuning, or code
+//!   version) is ignored at lookup time, forcing a fresh run of that cell.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::supervisor::{stall_labels, CellSummary};
+
+/// FNV-1a 64-bit hash of `input`, rendered as 16 hex digits. Used for
+/// configuration digests: stable across runs, dependency-free, and cheap.
+#[must_use]
+pub fn fnv1a_hex(input: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in input.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One journaled job completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Job key (`bench/CORE/mode`).
+    pub key: String,
+    /// Digest of the job's effective configuration.
+    pub digest: String,
+    /// Attempts the job took when it originally ran (1 = first try).
+    pub attempts: u32,
+    /// Wall-clock seconds the job took when it originally ran.
+    pub wall_seconds: f64,
+    /// The result summary.
+    pub summary: CellSummary,
+}
+
+impl JournalRecord {
+    /// Serialise as a single JSON object (one journal line).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("key", Json::str(&self.key)),
+            ("digest", Json::str(&self.digest)),
+            ("attempts", Json::num(f64::from(self.attempts))),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+        ];
+        match &self.summary {
+            CellSummary::Sim {
+                cycles,
+                committed,
+                stalls,
+            } => {
+                pairs.push(("kind", Json::str("sim")));
+                pairs.push(("cycles", Json::num(*cycles as f64)));
+                pairs.push(("committed", Json::num(*committed as f64)));
+                pairs.push((
+                    "stalls",
+                    Json::obj(
+                        stall_labels()
+                            .into_iter()
+                            .zip(stalls.iter())
+                            .map(|(label, n)| (label, Json::num(*n as f64)))
+                            .collect(),
+                    ),
+                ));
+            }
+            CellSummary::Ts {
+                cycles,
+                committed,
+                speedup,
+            } => {
+                pairs.push(("kind", Json::str("ts")));
+                pairs.push(("cycles", Json::num(*cycles as f64)));
+                pairs.push(("committed", Json::num(*committed as f64)));
+                pairs.push(("speedup", Json::Num(*speedup)));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parse a record back from a journal line's JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<JournalRecord, String> {
+        let str_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let key = str_field("key")?;
+        let digest = str_field("digest")?;
+        let attempts = num_field("attempts")? as u32;
+        let wall_seconds = num_field("wall_seconds")?;
+        let cycles = num_field("cycles")? as u64;
+        let committed = num_field("committed")? as u64;
+        let summary = match str_field("kind")?.as_str() {
+            "sim" => {
+                let stalls_obj = doc.get("stalls").ok_or("missing stalls object")?;
+                let mut stalls = [0u64; 9];
+                for (slot, label) in stalls.iter_mut().zip(stall_labels()) {
+                    *slot = stalls_obj
+                        .get(label)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("missing stall counter {label:?}"))?
+                        as u64;
+                }
+                CellSummary::Sim {
+                    cycles,
+                    committed,
+                    stalls,
+                }
+            }
+            "ts" => CellSummary::Ts {
+                cycles,
+                committed,
+                speedup: num_field("speedup")?,
+            },
+            other => return Err(format!("unknown record kind {other:?}")),
+        };
+        Ok(JournalRecord {
+            key,
+            digest,
+            attempts,
+            wall_seconds,
+            summary,
+        })
+    }
+}
+
+struct JournalFile {
+    file: File,
+    appended: u64,
+}
+
+/// The append-only sweep journal: completed records loaded at open plus
+/// an exclusive append handle shared by the worker threads.
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<JournalFile>,
+    restored: HashMap<String, JournalRecord>,
+    /// Fault injection for the crash-safety tests: exit the process (as
+    /// if killed) after this many appends.
+    die_after: Option<u64>,
+}
+
+impl Journal {
+    /// Exit status used by the injected mid-sweep "kill" (chosen to be
+    /// distinguishable from the CLI's own exit codes).
+    pub const DIE_EXIT_CODE: i32 = 86;
+
+    /// Start a fresh journal at `path`, truncating any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            writer: Mutex::new(JournalFile { file, appended: 0 }),
+            restored: HashMap::new(),
+            die_after: None,
+        })
+    }
+
+    /// Open `path` for resumption: load every complete, well-formed
+    /// record (tolerating a truncated or corrupt tail as documented in
+    /// the module docs), truncate the file back to the last good record,
+    /// and position it for appending. A missing file starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn resume(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let mut restored = HashMap::new();
+        let mut good_bytes = 0usize;
+        for chunk in text.split_inclusive('\n') {
+            if !chunk.ends_with('\n') {
+                break; // partial trailing write: drop it
+            }
+            let parsed = Json::parse(chunk.trim())
+                .ok()
+                .and_then(|doc| JournalRecord::from_json(&doc).ok());
+            let Some(rec) = parsed else {
+                break; // corrupt line: drop it and everything after
+            };
+            restored.insert(rec.key.clone(), rec);
+            good_bytes += chunk.len();
+        }
+        file.set_len(good_bytes as u64)?;
+        file.seek(SeekFrom::Start(good_bytes as u64))?;
+        Ok(Journal {
+            path,
+            writer: Mutex::new(JournalFile { file, appended: 0 }),
+            restored,
+            die_after: None,
+        })
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records loaded at open (resume only; empty for fresh journals).
+    #[must_use]
+    pub fn restored(&self) -> &HashMap<String, JournalRecord> {
+        &self.restored
+    }
+
+    /// The restored record for `key`, but only when its digest matches
+    /// the current configuration — stale records force a re-run.
+    #[must_use]
+    pub fn lookup(&self, key: &str, digest: &str) -> Option<&JournalRecord> {
+        self.restored.get(key).filter(|r| r.digest == digest)
+    }
+
+    /// Arm the injected mid-sweep kill: the process exits with
+    /// [`Self::DIE_EXIT_CODE`] immediately after the `n`-th append is
+    /// flushed. Fault-injection support for the crash-safety tests and
+    /// the CI resume smoke; never armed in production sweeps.
+    pub fn set_die_after(&mut self, n: Option<u64>) {
+        self.die_after = n;
+    }
+
+    /// Append one record and flush it to disk. Called from worker
+    /// threads as jobs finish; the line is written atomically under the
+    /// journal lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (the caller downgrades them to a warning:
+    /// losing checkpointing must not fail the sweep itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal lock is poisoned, which cannot happen: the
+    /// critical section below never panics.
+    pub fn append(&self, rec: &JournalRecord) -> std::io::Result<()> {
+        let mut line = String::new();
+        let json = rec.to_json();
+        // One record per line: render compactly by stripping the pretty
+        // emitter's newlines and indentation.
+        for part in json.pretty().lines() {
+            line.push_str(part.trim_start());
+        }
+        line.push('\n');
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        w.file.write_all(line.as_bytes())?;
+        w.file.flush()?;
+        w.appended += 1;
+        if self.die_after.is_some_and(|n| w.appended >= n) {
+            // Injected mid-sweep death: flush-then-exit models a kill
+            // arriving between two job completions.
+            std::process::exit(Self::DIE_EXIT_CODE);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: &str, digest: &str, cycles: u64) -> JournalRecord {
+        JournalRecord {
+            key: key.to_string(),
+            digest: digest.to_string(),
+            attempts: 1,
+            wall_seconds: 0.25,
+            summary: CellSummary::Sim {
+                cycles,
+                committed: cycles / 2,
+                stalls: [cycles, 0, 0, 0, 0, 0, 0, 0, 0],
+            },
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("redsoc-journal-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_records_across_create_and_resume() {
+        let path = tmp("roundtrip");
+        let j = Journal::create(&path).expect("create");
+        j.append(&rec("a/BIG/redsoc", "d1", 100)).expect("append");
+        j.append(&JournalRecord {
+            key: "a/BIG/ts".into(),
+            digest: "d2".into(),
+            attempts: 2,
+            wall_seconds: 0.5,
+            summary: CellSummary::Ts {
+                cycles: 80,
+                committed: 50,
+                speedup: 1.25,
+            },
+        })
+        .expect("append");
+        drop(j);
+
+        let j = Journal::resume(&path).expect("resume");
+        assert_eq!(j.restored().len(), 2);
+        assert_eq!(
+            j.lookup("a/BIG/redsoc", "d1")
+                .expect("hit")
+                .summary
+                .cycles(),
+            100
+        );
+        assert!(matches!(
+            j.lookup("a/BIG/ts", "d2").expect("hit").summary,
+            CellSummary::Ts { speedup, .. } if (speedup - 1.25).abs() < 1e-12
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_digest_misses_lookup() {
+        let path = tmp("stale");
+        let j = Journal::create(&path).expect("create");
+        j.append(&rec("a/BIG/redsoc", "old-digest", 100))
+            .expect("append");
+        drop(j);
+        let j = Journal::resume(&path).expect("resume");
+        assert!(
+            j.lookup("a/BIG/redsoc", "new-digest").is_none(),
+            "stale digest must force a re-run"
+        );
+        assert!(j.lookup("a/BIG/redsoc", "old-digest").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_dropped_and_appends_stay_clean() {
+        let path = tmp("truncated");
+        let j = Journal::create(&path).expect("create");
+        j.append(&rec("a/BIG/redsoc", "d", 100)).expect("append");
+        j.append(&rec("b/BIG/redsoc", "d", 200)).expect("append");
+        drop(j);
+        // Chop the file mid-way through the second record.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let cut = text.len() - 17;
+        std::fs::write(&path, &text[..cut]).expect("truncate");
+
+        let j = Journal::resume(&path).expect("resume tolerates partial tail");
+        assert_eq!(j.restored().len(), 1, "partial record dropped");
+        assert!(j.lookup("a/BIG/redsoc", "d").is_some());
+        // Appending after recovery must produce a parseable journal.
+        j.append(&rec("c/BIG/redsoc", "d", 300)).expect("append");
+        drop(j);
+        let j = Journal::resume(&path).expect("resume again");
+        assert_eq!(j.restored().len(), 2);
+        assert!(j.lookup("c/BIG/redsoc", "d").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_line_drops_itself_and_the_rest() {
+        let path = tmp("corrupt");
+        let j = Journal::create(&path).expect("create");
+        j.append(&rec("a/BIG/redsoc", "d", 100)).expect("append");
+        j.append(&rec("b/BIG/redsoc", "d", 200)).expect("append");
+        drop(j);
+        // Corrupt the middle: keep record a, garble a line, keep record b.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let (first, rest) = text.split_once('\n').expect("two lines");
+        let doctored = format!("{first}\n{{this is not json}}\n{rest}");
+        std::fs::write(&path, doctored).expect("write");
+
+        let j = Journal::resume(&path).expect("resume");
+        assert_eq!(
+            j.restored().len(),
+            1,
+            "corruption drops itself and everything after"
+        );
+        assert!(j.lookup("a/BIG/redsoc", "d").is_some());
+        assert!(j.lookup("b/BIG/redsoc", "d").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_resumes_empty() {
+        let path = tmp("missing");
+        std::fs::remove_file(&path).ok();
+        let j = Journal::resume(&path).expect("missing file starts empty");
+        assert!(j.restored().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a_hex("abc"), fnv1a_hex("abc"));
+        assert_ne!(fnv1a_hex("abc"), fnv1a_hex("abd"));
+        assert_eq!(fnv1a_hex("").len(), 16);
+    }
+}

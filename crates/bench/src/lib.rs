@@ -10,9 +10,16 @@
 //! - [`TraceCache`] — a concurrent, shareable trace store: each workload's
 //!   trace is generated exactly once per process and handed out as
 //!   `Arc<[DynOp]>` to any number of simulation threads;
-//! - [`runner`] — the parallel job runner: fans (benchmark × core ×
-//!   scheduler mode) simulations across a thread pool and collects a
-//!   [`runner::Grid`] of results, honouring `REDSOC_THREADS`;
+//! - [`runner`] — the fault-tolerant parallel job runner: fans
+//!   (benchmark × core × scheduler mode) simulations across a thread
+//!   pool under per-job supervision and collects a [`runner::Grid`] of
+//!   cells, honouring `REDSOC_THREADS`;
+//! - [`supervisor`] — the job supervisor: `catch_unwind` isolation, the
+//!   structured `JobError` taxonomy, bounded deterministic retries,
+//!   quarantine, and the fault-injection plan used by the crash tests;
+//! - [`journal`] — the append-only JSONL checkpoint behind
+//!   `redsoc bench --resume`: completed cells survive a mid-sweep crash
+//!   and are not re-run;
 //! - [`json`] — a dependency-free JSON value/emitter/parser for the
 //!   machine-readable `BENCH_sweep.json` output;
 //! - [`microbench`] — a minimal wall-clock micro-benchmark harness for the
@@ -20,9 +27,11 @@
 
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod microbench;
 pub mod runner;
+pub mod supervisor;
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -126,16 +135,18 @@ impl TraceCache {
 
     /// The trace for `bench`, generated on first use and shared thereafter.
     ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock is poisoned (a generator panicked).
+    /// Lock poisoning is recovered from rather than propagated: the map
+    /// only ever gains fully-initialised `Arc` slots, so a panic on
+    /// another thread (e.g. an injected fault in a supervised sweep)
+    /// cannot leave it in a torn state.
     #[must_use]
     pub fn get(&self, bench: Benchmark) -> Arc<[DynOp]> {
+        use std::sync::PoisonError;
         // Fast path: the entry slot already exists.
         let slot = self
             .entries
             .read()
-            .expect("trace cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&bench)
             .cloned();
         let slot = match slot {
@@ -143,7 +154,7 @@ impl TraceCache {
             None => self
                 .entries
                 .write()
-                .expect("trace cache lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(bench)
                 .or_insert_with(|| Arc::new(OnceLock::new()))
                 .clone(),
@@ -154,15 +165,11 @@ impl TraceCache {
     }
 
     /// Number of traces generated so far (for tests and progress display).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock is poisoned.
     #[must_use]
     pub fn generated(&self) -> usize {
         self.entries
             .read()
-            .expect("trace cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .filter(|s| s.get().is_some())
             .count()

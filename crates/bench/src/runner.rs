@@ -1,4 +1,4 @@
-//! Parallel experiment runner.
+//! Fault-tolerant parallel experiment runner.
 //!
 //! A sweep is a set of independent simulation **jobs** — one per
 //! (benchmark × core × scheduler mode). [`simulate`] takes owned inputs
@@ -8,23 +8,46 @@
 //! (and every per-job statistic) is identical to a serial run — the pool
 //! only changes wall-clock, never results.
 //!
+//! Every job runs under the [`supervisor`](crate::supervisor): the body
+//! executes inside `catch_unwind`, failures are classified into the
+//! structured [`JobError`] taxonomy, transient failures retry with
+//! deterministic backoff, a cooperative cycle-budget watchdog
+//! ([`CancelToken`]) bounds runaway jobs, and a failing job degrades to
+//! one `failed`/`timeout`/`quarantined` **cell** of the grid instead of
+//! aborting the sweep. Completed cells are checkpointed to an
+//! append-only [`Journal`](crate::journal::Journal) as they finish, and a
+//! resumed sweep restores them instead of re-running.
+//!
 //! The TS comparator needs the matching baseline cycle count, so grids
 //! that include [`Mode::Ts`] run in two waves: all simulator modes first,
-//! then the TS analyses (each wave fully parallel).
+//! then the TS analyses (each wave fully parallel). A TS cell whose
+//! baseline failed is marked failed with a `dependency` error rather
+//! than run on garbage.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::events::RingSink;
+use redsoc_core::sim::{CancelToken, SimError, Simulator};
 use redsoc_core::stats::{SimReport, StallCause};
-use redsoc_core::ts::TsResult;
+use redsoc_core::ts::{run_ts, TsResult};
+use redsoc_isa::instruction::Instr;
+use redsoc_isa::opcode::AluOp;
+use redsoc_isa::operand::Operand2;
+use redsoc_isa::program::r;
+use redsoc_isa::trace::DynOp;
 use redsoc_workloads::Benchmark;
 
+use crate::journal::{fnv1a_hex, Journal, JournalRecord};
 use crate::json::Json;
-use crate::{compare_ts, redsoc_for, TraceCache};
+use crate::supervisor::{
+    stall_labels, supervise, CellSummary, Fault, JobError, JobStatus, SupervisorConfig,
+};
+use crate::{redsoc_for, TraceCache};
 
 /// Scheduler modes a sweep can cover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +103,35 @@ pub struct Job {
     pub mode: Mode,
 }
 
+impl Job {
+    /// The job's sweep key (`bench/CORE/mode`) — the journal key and the
+    /// fault-injection key.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.bench.name(),
+            self.core_name,
+            self.mode.label()
+        )
+    }
+
+    /// Digest of the job's effective configuration at `trace_len`. A
+    /// journaled record is only restored when its digest matches, so a
+    /// changed trace length, core table, or scheduler tuning forces a
+    /// fresh run instead of silently resuming stale results.
+    #[must_use]
+    pub fn digest(&self, trace_len: u64) -> String {
+        let sched = self.mode.sched(self.bench);
+        fnv1a_hex(&format!(
+            "redsoc-bench-sweep/v3|{trace_len}|{}|{:?}|{:?}",
+            self.key(),
+            self.core,
+            sched,
+        ))
+    }
+}
+
 /// What a job produced: a full simulation report, or a TS analysis.
 /// The report is boxed: `SimReport` is an order of magnitude larger than
 /// `TsResult`, and grids hold hundreds of these.
@@ -122,9 +174,54 @@ impl JobResult {
     }
 }
 
+/// Why a cell failed, with the post-mortem pipeline dump captured from
+/// the run's [`RingSink`] (empty for panicking or analytical jobs).
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// The classified error.
+    pub error: JobError,
+    /// Most recent pipeline events at the point of failure.
+    pub recent_events: Vec<String>,
+}
+
+/// One cell of a supervised sweep: a job plus its terminal state. Every
+/// requested (benchmark × core × mode) combination yields exactly one
+/// cell, whatever happened to the job — partial grids are first-class.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The job this cell covers.
+    pub job: Job,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Attempts made (0 only for cells that never ran: restored cells
+    /// keep the attempt count journaled when they originally ran, and
+    /// dependency-failed cells are rejected before their first attempt).
+    pub attempts: u32,
+    /// Restored from a resume journal instead of executed.
+    pub restored: bool,
+    /// Wall-clock of this cell (journaled value for restored cells).
+    pub wall: Duration,
+    /// Full in-process result — present only for cells executed
+    /// successfully in this process (what the figure binaries consume).
+    pub result: Option<JobResult>,
+    /// Row summary — present for every successful cell, fresh or
+    /// restored (what the sweep JSON consumes).
+    pub summary: Option<CellSummary>,
+    /// The failure record, for unsuccessful cells.
+    pub failure: Option<CellFailure>,
+}
+
+impl Cell {
+    /// Whether the cell completed successfully.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == JobStatus::Ok
+    }
+}
+
 /// Results of a sweep, keyed by (benchmark, core name, mode).
 pub struct Grid {
-    results: HashMap<(Benchmark, &'static str, Mode), JobResult>,
+    cells: HashMap<(Benchmark, &'static str, Mode), Cell>,
     /// Wall-clock of the whole sweep (including trace generation).
     pub wall: Duration,
     /// Worker threads used.
@@ -132,21 +229,65 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// The result for one cell, if the sweep covered it (core names match
-    /// case-insensitively).
+    /// The cell for one combination, if the sweep covered it (core names
+    /// match case-insensitively).
     #[must_use]
-    pub fn get(&self, bench: Benchmark, core_name: &str, mode: Mode) -> Option<&JobResult> {
-        self.results
+    pub fn cell(&self, bench: Benchmark, core_name: &str, mode: Mode) -> Option<&Cell> {
+        self.cells
             .iter()
             .find(|((b, c, m), _)| *b == bench && c.eq_ignore_ascii_case(core_name) && *m == mode)
-            .map(|(_, r)| r)
+            .map(|(_, c)| c)
+    }
+
+    /// All cells in deterministic (benchmark, core, mode) sweep order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<&Cell> {
+        let mut cells: Vec<&Cell> = self.cells.values().collect();
+        cells.sort_by_key(|c| {
+            (
+                Benchmark::all().iter().position(|b| *b == c.job.bench),
+                c.job.core_name,
+                Mode::all().iter().position(|m| *m == c.job.mode),
+            )
+        });
+        cells
+    }
+
+    /// Number of cells per status, in [`JobStatus`] declaration order
+    /// (`ok`, `failed`, `timeout`, `quarantined`).
+    #[must_use]
+    pub fn status_counts(&self) -> [(JobStatus, usize); 4] {
+        [
+            JobStatus::Ok,
+            JobStatus::Failed,
+            JobStatus::Timeout,
+            JobStatus::Quarantined,
+        ]
+        .map(|s| (s, self.cells.values().filter(|c| c.status == s).count()))
+    }
+
+    /// Whether every cell completed successfully.
+    #[must_use]
+    pub fn fully_ok(&self) -> bool {
+        self.cells.values().all(Cell::is_ok)
+    }
+
+    /// The in-process result for one cell, if the sweep covered it and
+    /// executed it successfully in this process (core names match
+    /// case-insensitively). Restored and failed cells return `None`.
+    #[must_use]
+    pub fn get(&self, bench: Benchmark, core_name: &str, mode: Mode) -> Option<&JobResult> {
+        self.cell(bench, core_name, mode)
+            .and_then(|c| c.result.as_ref())
     }
 
     /// The simulation report for one cell.
     ///
     /// # Panics
     ///
-    /// Panics if the cell was not covered or was a TS job.
+    /// Panics if the cell was not covered, did not execute successfully
+    /// in this process, or was a TS job. The figure binaries use this:
+    /// they always run fresh, fully-successful grids.
     #[must_use]
     pub fn report(&self, bench: Benchmark, core_name: &str, mode: Mode) -> &SimReport {
         self.get(bench, core_name, mode)
@@ -155,51 +296,64 @@ impl Grid {
             .expect("simulator cell")
     }
 
-    /// Speedup of `mode` over the baseline for one benchmark × core.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grid lacks the cell or its baseline.
+    /// Speedup of `mode` over the baseline for one benchmark × core,
+    /// computed from cell summaries (works for restored cells too);
+    /// `None` when either cell is missing or unsuccessful.
     #[must_use]
-    pub fn speedup(&self, bench: Benchmark, core_name: &str, mode: Mode) -> f64 {
-        let cell = self
-            .get(bench, core_name, mode)
-            .unwrap_or_else(|| panic!("grid missing {}/{core_name}/{:?}", bench.name(), mode));
-        match &cell.output {
+    pub fn try_speedup(&self, bench: Benchmark, core_name: &str, mode: Mode) -> Option<f64> {
+        let summary = self.cell(bench, core_name, mode)?.summary.as_ref()?;
+        match summary {
             // TS carries its own wall-clock-corrected speedup (shorter
             // cycles at a shorter clock period).
-            JobOutput::Ts(t) => t.speedup,
-            JobOutput::Sim(r) => {
-                let base = self.report(bench, core_name, Mode::Baseline);
-                r.speedup_over(base)
+            CellSummary::Ts { speedup, .. } => Some(*speedup),
+            CellSummary::Sim { cycles, .. } => {
+                let base = self
+                    .cell(bench, core_name, Mode::Baseline)?
+                    .summary
+                    .as_ref()?;
+                Some(base.cycles() as f64 / *cycles as f64)
             }
         }
     }
 
-    /// All results in deterministic (benchmark, core, mode) sweep order.
+    /// Speedup of `mode` over the baseline for one benchmark × core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid lacks the cell or its baseline (figure-binary
+    /// convenience; sweeps use [`Grid::try_speedup`]).
     #[must_use]
-    pub fn rows(&self) -> Vec<&JobResult> {
-        let mut rows: Vec<&JobResult> = self.results.values().collect();
-        rows.sort_by_key(|r| {
-            (
-                Benchmark::all().iter().position(|b| *b == r.job.bench),
-                r.job.core_name,
-                Mode::all().iter().position(|m| *m == r.job.mode),
-            )
-        });
-        rows
+    pub fn speedup(&self, bench: Benchmark, core_name: &str, mode: Mode) -> f64 {
+        self.try_speedup(bench, core_name, mode)
+            .unwrap_or_else(|| panic!("grid missing {}/{core_name}/{:?}", bench.name(), mode))
     }
 
-    /// Sum of per-job wall-clock — the serial-equivalent compute time.
+    /// All in-process results in deterministic (benchmark, core, mode)
+    /// sweep order (successful fresh cells only).
+    #[must_use]
+    pub fn rows(&self) -> Vec<&JobResult> {
+        self.cells()
+            .into_iter()
+            .filter_map(|c| c.result.as_ref())
+            .collect()
+    }
+
+    /// Sum of per-job wall-clock — the serial-equivalent compute time
+    /// (journaled wall for restored cells).
     #[must_use]
     pub fn cpu_time(&self) -> Duration {
-        self.results.values().map(|r| r.wall).sum()
+        self.cells.values().map(|c| c.wall).sum()
     }
 }
 
 /// Run `f` over `items` on `threads` worker threads, preserving item
 /// order in the returned vector. With `threads == 1` the items run on the
 /// calling thread in order — the serial reference path.
+///
+/// A poisoned result slot (another worker panicked while holding the
+/// lock) is recovered rather than propagated: each slot is written once
+/// by one worker, so the inner value is never torn, and one worker's
+/// panic must degrade one item, not the whole sweep.
 pub fn run_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -220,7 +374,7 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let r = f(item);
-                *slots[i].lock().expect("slot lock") = Some(r);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
@@ -228,43 +382,273 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("all slots filled")
         })
         .collect()
 }
 
-/// Execute one simulator job (mode must not be [`Mode::Ts`]).
-fn run_sim_job(cache: &TraceCache, job: &Job) -> JobResult {
-    let sched = job.mode.sched(job.bench).expect("sim job");
-    let trace = cache.get(job.bench);
-    let start = Instant::now();
-    let report = simulate(trace.iter().copied(), job.core.clone().with_sched(sched))
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", job.bench.name(), job.core.name));
-    JobResult {
-        job: job.clone(),
-        wall: start.elapsed(),
-        output: JobOutput::Sim(Box::new(report)),
+/// An endless synthetic instruction stream: the injected-hang fault. The
+/// pipeline commits continuously (so the deadlock watchdog stays quiet)
+/// but the trace never ends — only the cycle-budget watchdog or killing
+/// the process stops the job.
+fn endless_trace() -> impl Iterator<Item = DynOp> {
+    (0u64..).map(|i| {
+        DynOp::simple(
+            i,
+            ((i % 64) * 4) as u32,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Some(r(0)),
+                src1: Some(r(0)),
+                op2: Operand2::Imm(1),
+                set_flags: false,
+            },
+        )
+    })
+}
+
+/// Map a simulator run's terminal error to a [`JobError`] plus the
+/// post-mortem event dump.
+fn classify_sim_error(
+    err: SimError,
+    budget: Option<u64>,
+    ring: &RingSink,
+) -> (JobError, Vec<String>) {
+    use redsoc_core::events::EventSink;
+    match err {
+        SimError::Cancelled { recent_events, .. } => (
+            JobError::Timeout {
+                budget: budget.unwrap_or(0),
+            },
+            recent_events,
+        ),
+        SimError::Deadlock {
+            ref recent_events, ..
+        } => {
+            let events = recent_events.clone();
+            (JobError::Sim(err), events)
+        }
+        other => (JobError::Sim(other), ring.recent()),
     }
 }
 
-/// Run a sweep over `benches` × `cores` × `modes` on `threads` workers.
+/// One attempt of a simulator-mode job (never [`Mode::Ts`]).
+fn sim_attempt(
+    cache: &TraceCache,
+    job: &Job,
+    sched: SchedulerConfig,
+    sup: &SupervisorConfig,
+) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
+    let trace = cache.get(job.bench);
+    let config = job.core.clone().with_sched(sched);
+    let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
+    let mut sim = Simulator::new(config).map_err(|e| (JobError::Sim(e), Vec::new()))?;
+    if let Some(budget) = sup.job_timeout_cycles {
+        sim = sim.with_cancel(CancelToken::with_budget(budget));
+    }
+    match sim.run_events(trace.iter().copied(), &mut ring) {
+        Ok(report) => {
+            let summary = CellSummary::Sim {
+                cycles: report.cycles,
+                committed: report.committed,
+                stalls: StallCause::all().map(|c| report.stalls.count(c)),
+            };
+            Ok((JobOutput::Sim(Box::new(report)), summary))
+        }
+        Err(e) => Err(classify_sim_error(e, sup.job_timeout_cycles, &ring)),
+    }
+}
+
+/// One attempt of the injected-hang fault: run the endless stream under
+/// the same watchdog a real job gets.
+fn hang_attempt(
+    job: &Job,
+    sup: &SupervisorConfig,
+) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
+    let sched = job
+        .mode
+        .sched(job.bench)
+        .unwrap_or_else(SchedulerConfig::baseline);
+    let config = job.core.clone().with_sched(sched);
+    let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
+    let mut sim = Simulator::new(config).map_err(|e| (JobError::Sim(e), Vec::new()))?;
+    if let Some(budget) = sup.job_timeout_cycles {
+        sim = sim.with_cancel(CancelToken::with_budget(budget));
+    }
+    match sim.run_events(endless_trace(), &mut ring) {
+        // Unreachable in practice: the stream never ends.
+        Ok(report) => {
+            let summary = CellSummary::Sim {
+                cycles: report.cycles,
+                committed: report.committed,
+                stalls: StallCause::all().map(|c| report.stalls.count(c)),
+            };
+            Ok((JobOutput::Sim(Box::new(report)), summary))
+        }
+        Err(e) => Err(classify_sim_error(e, sup.job_timeout_cycles, &ring)),
+    }
+}
+
+/// One attempt of a TS job, given the measured baseline (cycles,
+/// committed).
+fn ts_attempt(
+    cache: &TraceCache,
+    job: &Job,
+    base: (u64, u64),
+) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
+    let (base_cycles, base_committed) = base;
+    let trace = cache.get(job.bench);
+    match run_ts(&trace, &job.core, base_cycles, 0.01) {
+        Ok(ts) => {
+            let summary = CellSummary::Ts {
+                cycles: ts.cycles,
+                committed: base_committed,
+                speedup: ts.speedup,
+            };
+            Ok((JobOutput::Ts(ts), summary))
+        }
+        Err(e) => Err((JobError::Sim(e), Vec::new())),
+    }
+}
+
+/// Execute one cell under supervision: journal restore, fault injection,
+/// `catch_unwind`, retries, and classification all happen here. `ts_base`
+/// carries the measured baseline for TS jobs.
+fn exec_cell(
+    cache: &TraceCache,
+    job: &Job,
+    ts_base: Option<(u64, u64)>,
+    sup: &SupervisorConfig,
+    journal: Option<&Journal>,
+) -> Cell {
+    let key = job.key();
+    let digest = job.digest(cache.target_len());
+    if let Some(rec) = journal.and_then(|j| j.lookup(&key, &digest)) {
+        return Cell {
+            job: job.clone(),
+            status: JobStatus::Ok,
+            attempts: rec.attempts,
+            restored: true,
+            wall: Duration::from_secs_f64(rec.wall_seconds.max(0.0)),
+            result: None,
+            summary: Some(rec.summary.clone()),
+            failure: None,
+        };
+    }
+
+    let start = Instant::now();
+    let last_events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let supervised = supervise(sup, |attempt| {
+        let outcome = match sup.faults.get(&key) {
+            Some(Fault::Panic { times }) if attempt <= times => {
+                panic!("injected panic for {key} (attempt {attempt})")
+            }
+            Some(Fault::Fail) => Err((
+                JobError::Sim(SimError::BadConfig(format!("injected failure for {key}"))),
+                Vec::new(),
+            )),
+            Some(Fault::Hang) => hang_attempt(job, sup),
+            _ => match (job.mode, ts_base) {
+                (Mode::Ts, Some(base)) => ts_attempt(cache, job, base),
+                (Mode::Ts, None) => Err((
+                    JobError::DependencyFailed {
+                        key: Job {
+                            mode: Mode::Baseline,
+                            ..job.clone()
+                        }
+                        .key(),
+                    },
+                    Vec::new(),
+                )),
+                (_, _) => match job.mode.sched(job.bench) {
+                    Some(sched) => sim_attempt(cache, job, sched, sup),
+                    None => Err((
+                        JobError::Sim(SimError::BadConfig(format!(
+                            "mode {} has no scheduler",
+                            job.mode.label()
+                        ))),
+                        Vec::new(),
+                    )),
+                },
+            },
+        };
+        outcome.map_err(|(err, events)| {
+            *last_events.lock().unwrap_or_else(PoisonError::into_inner) = events;
+            err
+        })
+    });
+    let wall = start.elapsed();
+
+    match supervised.result {
+        Ok((output, summary)) => {
+            if let Some(j) = journal {
+                let rec = JournalRecord {
+                    key,
+                    digest,
+                    attempts: supervised.attempts,
+                    wall_seconds: wall.as_secs_f64(),
+                    summary: summary.clone(),
+                };
+                if let Err(e) = j.append(&rec) {
+                    eprintln!(
+                        "warning: failed to checkpoint {} to {}: {e}",
+                        rec.key,
+                        j.path().display()
+                    );
+                }
+            }
+            Cell {
+                job: job.clone(),
+                status: JobStatus::Ok,
+                attempts: supervised.attempts,
+                restored: false,
+                wall,
+                result: Some(JobResult {
+                    job: job.clone(),
+                    wall,
+                    output,
+                }),
+                summary: Some(summary),
+                failure: None,
+            }
+        }
+        Err(error) => Cell {
+            job: job.clone(),
+            status: error.terminal_status(),
+            attempts: supervised.attempts,
+            restored: false,
+            wall,
+            result: None,
+            summary: None,
+            failure: Some(CellFailure {
+                recent_events: std::mem::take(
+                    &mut *last_events.lock().unwrap_or_else(PoisonError::into_inner),
+                ),
+                error,
+            }),
+        },
+    }
+}
+
+/// Run a sweep over `benches` × `cores` × `modes` on `threads` workers
+/// under full supervision: failures degrade to per-cell statuses, the
+/// cycle-budget watchdog bounds each job, and completed cells checkpoint
+/// to `journal` (restored from it instead of re-run when their digest
+/// matches).
 ///
 /// Requesting [`Mode::Ts`] implies baseline runs (they are added when
 /// missing): TS picks its clock from the trace but reports speedup against
 /// the measured baseline cycle count.
-///
-/// # Panics
-///
-/// Panics on simulator errors — experiment inputs are deterministic, so an
-/// error is a bug.
 #[must_use]
-pub fn run_grid(
+pub fn run_grid_supervised(
     cache: &TraceCache,
     benches: &[Benchmark],
     cores: &[(&'static str, CoreConfig)],
     modes: &[Mode],
     threads: usize,
+    sup: &SupervisorConfig,
+    journal: Option<&Journal>,
 ) -> Grid {
     let start = Instant::now();
     let want_ts = modes.contains(&Mode::Ts);
@@ -274,8 +658,12 @@ pub fn run_grid(
     }
 
     // Pre-generate traces in parallel: distinct benchmarks don't contend.
+    // A panicking generator is caught here and again — properly
+    // classified — when the first job for that benchmark runs.
     run_parallel(benches, threads, |b| {
-        let _ = cache.get(*b);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get(*b);
+        }));
     });
 
     let mut jobs = Vec::new();
@@ -292,10 +680,12 @@ pub fn run_grid(
         }
     }
 
-    let results = run_parallel(&jobs, threads, |job| run_sim_job(cache, job));
-    let mut map: HashMap<(Benchmark, &'static str, Mode), JobResult> = results
+    let cells = run_parallel(&jobs, threads, |job| {
+        exec_cell(cache, job, None, sup, journal)
+    });
+    let mut map: HashMap<(Benchmark, &'static str, Mode), Cell> = cells
         .into_iter()
-        .map(|r| ((r.job.bench, r.job.core_name, r.job.mode), r))
+        .map(|c| ((c.job.bench, c.job.core_name, c.job.mode), c))
         .collect();
 
     if want_ts {
@@ -310,37 +700,61 @@ pub fn run_grid(
                 })
             })
             .collect();
-        let baselines: HashMap<(Benchmark, &'static str), u64> = ts_jobs
+        // The measured baseline per (benchmark, core): `None` when the
+        // baseline cell failed, which fails the TS cell as a dependency.
+        let baselines: HashMap<(Benchmark, &'static str), Option<(u64, u64)>> = ts_jobs
             .iter()
             .map(|j| {
                 let base = map
                     .get(&(j.bench, j.core_name, Mode::Baseline))
-                    .expect("baseline wave ran first");
-                ((j.bench, j.core_name), base.cycles())
+                    .and_then(|c| c.summary.as_ref())
+                    .map(|s| (s.cycles(), s.committed()));
+                ((j.bench, j.core_name), base)
             })
             .collect();
-        let ts_results = run_parallel(&ts_jobs, threads, |job| {
-            let base_cycles = baselines[&(job.bench, job.core_name)];
-            let start = Instant::now();
-            let ts = compare_ts(cache, job.bench, &job.core, base_cycles);
-            JobResult {
-                job: job.clone(),
-                wall: start.elapsed(),
-                output: JobOutput::Ts(ts),
-            }
+        let ts_cells = run_parallel(&ts_jobs, threads, |job| {
+            exec_cell(
+                cache,
+                job,
+                baselines[&(job.bench, job.core_name)],
+                sup,
+                journal,
+            )
         });
         map.extend(
-            ts_results
+            ts_cells
                 .into_iter()
-                .map(|r| ((r.job.bench, r.job.core_name, r.job.mode), r)),
+                .map(|c| ((c.job.bench, c.job.core_name, c.job.mode), c)),
         );
     }
 
     Grid {
-        results: map,
+        cells: map,
         wall: start.elapsed(),
         threads,
     }
+}
+
+/// Run a sweep with the default supervisor policy and no journal — the
+/// figure-binary path. Failures still degrade to cells instead of
+/// panicking; the accessors ([`Grid::report`]) panic on missing cells.
+#[must_use]
+pub fn run_grid(
+    cache: &TraceCache,
+    benches: &[Benchmark],
+    cores: &[(&'static str, CoreConfig)],
+    modes: &[Mode],
+    threads: usize,
+) -> Grid {
+    run_grid_supervised(
+        cache,
+        benches,
+        cores,
+        modes,
+        threads,
+        &SupervisorConfig::default(),
+        None,
+    )
 }
 
 /// The full paper sweep: all sixteen workloads × three Table I cores ×
@@ -350,69 +764,124 @@ pub fn run_full_sweep(cache: &TraceCache, modes: &[Mode], threads: usize) -> Gri
     run_grid(cache, &Benchmark::all(), &crate::cores(), modes, threads)
 }
 
-/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v2`
+/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v3`
 /// document written to `BENCH_sweep.json`.
 ///
-/// Per job: benchmark, class, core, mode, simulated `cycles`, committed
-/// instruction count, `ipc`, per-job `wall_seconds`,
-/// `speedup_over_baseline` (1.0 for baseline rows by construction; TS rows
-/// carry the clock-corrected TS speedup), and — new in `/v2` — a `stalls`
-/// object of per-cause cycle counters whose values sum to `cycles`
-/// (`null` for TS rows, which are analytical and have no pipeline). TS
-/// rows report the committed count of their matching baseline run, since
-/// TS replays the same trace.
+/// Per job: benchmark, class, core, mode, the supervision outcome
+/// (`status` of `ok | failed | timeout | quarantined`, `attempts`,
+/// `restored`), and — for successful cells — simulated `cycles`,
+/// committed instruction count, `ipc`, per-job `wall_seconds`,
+/// `speedup_over_baseline` (1.0 for baseline rows by construction; TS
+/// rows carry the clock-corrected TS speedup; `null` when the baseline
+/// cell failed), and a `stalls` object of per-cause cycle counters whose
+/// values sum to `cycles` (`null` for TS rows, which are analytical and
+/// have no pipeline). TS rows report the committed count of their
+/// matching baseline run, since TS replays the same trace. Failed cells
+/// carry `null` metrics plus an `error` record (`kind`, `message`, and
+/// the recent pipeline events captured at the point of failure), so a
+/// partial grid is a well-formed document rather than a crash.
 #[must_use]
 pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
     let jobs: Vec<Json> = grid
-        .rows()
+        .cells()
         .iter()
-        .map(|r| {
-            let (committed, ipc) = match &r.output {
-                JobOutput::Sim(rep) => (rep.committed, rep.ipc()),
-                JobOutput::Ts(t) => {
-                    let base = grid.report(r.job.bench, r.job.core_name, Mode::Baseline);
-                    (base.committed, base.committed as f64 / t.cycles as f64)
-                }
-            };
-            let stalls = match &r.output {
-                JobOutput::Sim(rep) => Json::obj(
-                    StallCause::all()
-                        .into_iter()
-                        .map(|c| (c.label(), Json::num(rep.stalls.count(c) as f64)))
-                        .collect(),
-                ),
-                JobOutput::Ts(_) => Json::Null,
-            };
+        .map(|c| {
+            let num_or_null = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+            let summary = c.summary.as_ref();
+            let cycles = summary.map(|s| s.cycles() as f64);
+            let committed = summary.map(|s| s.committed() as f64);
+            let ipc = summary.map(|s| s.committed() as f64 / s.cycles() as f64);
+            let stalls = summary
+                .and_then(CellSummary::stalls)
+                .map_or(Json::Null, |s| {
+                    Json::obj(
+                        stall_labels()
+                            .into_iter()
+                            .zip(s.iter())
+                            .map(|(label, n)| (label, Json::num(*n as f64)))
+                            .collect(),
+                    )
+                });
+            let error = c.failure.as_ref().map_or(Json::Null, |f| {
+                Json::obj(vec![
+                    ("kind", Json::str(f.error.kind())),
+                    ("message", Json::str(&f.error.to_string())),
+                    (
+                        "recent_events",
+                        Json::Arr(f.recent_events.iter().map(|e| Json::str(e)).collect()),
+                    ),
+                ])
+            });
             Json::obj(vec![
-                ("benchmark", Json::str(r.job.bench.name())),
-                ("class", Json::str(r.job.bench.class().label())),
-                ("core", Json::str(r.job.core_name)),
-                ("mode", Json::str(r.job.mode.label())),
-                ("cycles", Json::num(r.cycles() as f64)),
-                ("committed", Json::num(committed as f64)),
-                ("ipc", Json::num(ipc)),
-                ("wall_seconds", Json::num(r.wall.as_secs_f64())),
+                ("benchmark", Json::str(c.job.bench.name())),
+                ("class", Json::str(c.job.bench.class().label())),
+                ("core", Json::str(c.job.core_name)),
+                ("mode", Json::str(c.job.mode.label())),
+                ("status", Json::str(c.status.label())),
+                ("attempts", Json::num(f64::from(c.attempts))),
+                ("restored", Json::Bool(c.restored)),
+                ("cycles", num_or_null(cycles)),
+                ("committed", num_or_null(committed)),
+                ("ipc", num_or_null(ipc)),
+                ("wall_seconds", Json::Num(c.wall.as_secs_f64())),
                 (
                     "speedup_over_baseline",
-                    Json::num(grid.speedup(r.job.bench, r.job.core_name, r.job.mode)),
+                    num_or_null(grid.try_speedup(c.job.bench, c.job.core_name, c.job.mode)),
                 ),
                 ("stalls", stalls),
+                ("error", error),
             ])
         })
         .collect();
+    let counts = grid.status_counts();
     Json::obj(vec![
-        ("schema", Json::str("redsoc-bench-sweep/v2")),
+        ("schema", Json::str("redsoc-bench-sweep/v3")),
         ("trace_len", Json::num(trace_len as f64)),
         ("threads", Json::num(grid.threads as f64)),
-        ("wall_seconds", Json::num(grid.wall.as_secs_f64())),
-        ("cpu_seconds", Json::num(grid.cpu_time().as_secs_f64())),
+        ("wall_seconds", Json::Num(grid.wall.as_secs_f64())),
+        ("cpu_seconds", Json::Num(grid.cpu_time().as_secs_f64())),
+        (
+            "status_counts",
+            Json::obj(
+                counts
+                    .iter()
+                    .map(|(s, n)| (s.label(), Json::num(*n as f64)))
+                    .collect(),
+            ),
+        ),
         ("jobs", Json::Arr(jobs)),
     ])
+}
+
+/// Canonicalise a sweep document for comparison: wall-clock fields
+/// (`wall_seconds`, `cpu_seconds`) are measurement rather than simulation
+/// output and `restored` is provenance, so they are zeroed recursively.
+/// Two canonicalised documents from the same grid — uninterrupted, or
+/// crashed and resumed — must be byte-identical.
+#[must_use]
+pub fn canonicalize_sweep(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(map) => Json::Obj(
+            map.iter()
+                .map(|(k, v)| {
+                    let v = match k.as_str() {
+                        "wall_seconds" | "cpu_seconds" => Json::Num(0.0),
+                        "restored" => Json::Bool(false),
+                        _ => canonicalize_sweep(v),
+                    };
+                    (k.clone(), v)
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(canonicalize_sweep).collect()),
+        other => other.clone(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::FaultPlan;
 
     #[test]
     fn run_parallel_preserves_order() {
@@ -436,6 +905,7 @@ mod tests {
             2,
         );
         assert_eq!(grid.rows().len(), 4);
+        assert!(grid.fully_ok());
         assert!(grid.speedup(Benchmark::Bitcnt, "BIG", Mode::Redsoc) > 1.0);
         assert!(grid.get(Benchmark::Bitcnt, "SMALL", Mode::Redsoc).is_none());
     }
@@ -449,5 +919,117 @@ mod tests {
         assert!(grid.get(Benchmark::Bitcnt, "BIG", Mode::Baseline).is_some());
         let ts = grid.speedup(Benchmark::Bitcnt, "BIG", Mode::Ts);
         assert!(ts.is_finite() && ts > 0.0);
+    }
+
+    #[test]
+    fn job_digest_tracks_configuration() {
+        let job = Job {
+            bench: Benchmark::Bitcnt,
+            core_name: "BIG",
+            core: CoreConfig::big(),
+            mode: Mode::Redsoc,
+        };
+        assert_eq!(job.digest(1000), job.digest(1000));
+        assert_ne!(job.digest(1000), job.digest(2000), "trace length matters");
+        let mut other = job.clone();
+        other.core.rob_entries += 1;
+        assert_ne!(job.digest(1000), other.digest(1000), "core config matters");
+    }
+
+    #[test]
+    fn injected_panic_quarantines_one_cell_and_spares_the_rest() {
+        let cache = TraceCache::new(2_000);
+        let sup = SupervisorConfig {
+            max_retries: 1,
+            backoff_base: Duration::ZERO,
+            faults: FaultPlan::none().with("bitcnt/BIG/redsoc", Fault::Panic { times: 99 }),
+            ..SupervisorConfig::default()
+        };
+        let grid = run_grid_supervised(
+            &cache,
+            &[Benchmark::Bitcnt],
+            &crate::cores()[..1],
+            &[Mode::Baseline, Mode::Redsoc],
+            2,
+            &sup,
+            None,
+        );
+        let bad = grid.cell(Benchmark::Bitcnt, "BIG", Mode::Redsoc).unwrap();
+        assert_eq!(bad.status, JobStatus::Quarantined);
+        assert_eq!(bad.attempts, 2, "one try + one retry");
+        assert!(bad.failure.as_ref().unwrap().error.kind() == "panicked");
+        let good = grid.cell(Benchmark::Bitcnt, "BIG", Mode::Baseline).unwrap();
+        assert!(good.is_ok(), "sibling cell must survive");
+        assert!(!grid.fully_ok());
+    }
+
+    #[test]
+    fn injected_hang_times_out_under_the_cycle_budget() {
+        let cache = TraceCache::new(2_000);
+        let sup = SupervisorConfig {
+            job_timeout_cycles: Some(20_000),
+            faults: FaultPlan::none().with("crc/BIG/baseline", Fault::Hang),
+            ..SupervisorConfig::default()
+        };
+        let grid = run_grid_supervised(
+            &cache,
+            &[Benchmark::Crc],
+            &crate::cores()[..1],
+            &[Mode::Baseline],
+            1,
+            &sup,
+            None,
+        );
+        let cell = grid.cell(Benchmark::Crc, "BIG", Mode::Baseline).unwrap();
+        assert_eq!(cell.status, JobStatus::Timeout);
+        assert_eq!(cell.attempts, 1, "timeouts are deterministic: no retry");
+        assert!(matches!(
+            cell.failure.as_ref().unwrap().error,
+            JobError::Timeout { budget: 20_000 }
+        ));
+    }
+
+    #[test]
+    fn failed_baseline_fails_ts_as_a_dependency() {
+        let cache = TraceCache::new(2_000);
+        let sup = SupervisorConfig {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            faults: FaultPlan::none().with("bitcnt/BIG/baseline", Fault::Fail),
+            ..SupervisorConfig::default()
+        };
+        let grid = run_grid_supervised(
+            &cache,
+            &[Benchmark::Bitcnt],
+            &crate::cores()[..1],
+            &[Mode::Ts],
+            1,
+            &sup,
+            None,
+        );
+        let ts = grid.cell(Benchmark::Bitcnt, "BIG", Mode::Ts).unwrap();
+        assert_eq!(ts.status, JobStatus::Failed);
+        assert_eq!(ts.failure.as_ref().unwrap().error.kind(), "dependency");
+    }
+
+    #[test]
+    fn canonicalize_zeroes_walls_everywhere() {
+        let doc = Json::obj(vec![
+            ("wall_seconds", Json::Num(1.5)),
+            (
+                "jobs",
+                Json::Arr(vec![Json::obj(vec![
+                    ("wall_seconds", Json::Num(0.25)),
+                    ("restored", Json::Bool(true)),
+                    ("cycles", Json::Num(10.0)),
+                ])]),
+            ),
+        ]);
+        let canon = canonicalize_sweep(&doc);
+        assert_eq!(canon.get("wall_seconds"), Some(&Json::Num(0.0)));
+        let job = &canon.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(job.get("wall_seconds"), Some(&Json::Num(0.0)));
+        assert_eq!(job.get("restored"), Some(&Json::Bool(false)));
+        assert_eq!(job.get("cycles"), Some(&Json::Num(10.0)));
     }
 }

@@ -1,0 +1,489 @@
+//! Job supervision: error taxonomy, bounded retries, fault injection.
+//!
+//! A sweep cell runs under a **supervisor** ([`supervise`]): the job body
+//! executes inside `catch_unwind`, every failure is classified into a
+//! structured [`JobError`], transient failures (panics, poisoned state)
+//! are retried with deterministic exponential backoff, and jobs that keep
+//! failing are **quarantined** rather than allowed to abort the sweep.
+//! Deterministic failures — simulator errors and cycle-budget timeouts —
+//! fail fast: retrying a deterministic simulator reproduces the failure
+//! bit for bit, so the supervisor does not waste wall-clock on it.
+//!
+//! The module also hosts the **fault-injection plan** ([`FaultPlan`])
+//! used by the crash-safety test harness and the CI resume smoke: faults
+//! are keyed by job (`bench/CORE/mode`) and can make a cell panic for its
+//! first N attempts, hang until the watchdog fires, or fail with a
+//! simulator error. Production sweeps run with an empty plan; the
+//! injection points cost one hash lookup per job attempt.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use redsoc_core::sim::SimError;
+use redsoc_core::stats::StallCause;
+
+/// Why a job failed: the structured taxonomy every failure is mapped to
+/// (no panic escapes a supervised cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The simulator returned an error (deadlock watchdog, bad config).
+    Sim(SimError),
+    /// The job body panicked; `payload` is the panic message.
+    Panicked {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The cooperative cycle-budget watchdog cancelled the run.
+    Timeout {
+        /// The cycle budget the job exceeded.
+        budget: u64,
+    },
+    /// Shared state (a lock) was poisoned by another worker's panic.
+    Poisoned,
+    /// A job this one depends on (the TS comparator's baseline) did not
+    /// complete successfully.
+    DependencyFailed {
+        /// Key of the failed dependency.
+        key: String,
+    },
+}
+
+impl JobError {
+    /// Short machine-readable kind label (the v3 JSON `error.kind`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Sim(_) => "sim",
+            JobError::Panicked { .. } => "panicked",
+            JobError::Timeout { .. } => "timeout",
+            JobError::Poisoned => "poisoned",
+            JobError::DependencyFailed { .. } => "dependency",
+        }
+    }
+
+    /// Whether retrying could plausibly succeed. Panics and poisoning can
+    /// be environmental (another worker's crash, a bug tripped by timing);
+    /// simulator errors and cycle budgets are deterministic.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Panicked { .. } | JobError::Poisoned)
+    }
+
+    /// The terminal [`JobStatus`] for a job that failed with this error
+    /// after the supervisor gave up.
+    #[must_use]
+    pub fn terminal_status(&self) -> JobStatus {
+        match self {
+            JobError::Timeout { .. } => JobStatus::Timeout,
+            JobError::Panicked { .. } | JobError::Poisoned => JobStatus::Quarantined,
+            JobError::Sim(_) | JobError::DependencyFailed { .. } => JobStatus::Failed,
+        }
+    }
+}
+
+impl core::fmt::Display for JobError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JobError::Sim(e) => write!(f, "simulator error: {e}"),
+            JobError::Panicked { payload } => write!(f, "job panicked: {payload}"),
+            JobError::Timeout { budget } => {
+                write!(f, "exceeded cycle budget of {budget} cycles")
+            }
+            JobError::Poisoned => write!(f, "shared state poisoned by another worker's panic"),
+            JobError::DependencyFailed { key } => {
+                write!(f, "dependency {key} did not complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Terminal state of a supervised job (the v3 JSON `status` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed successfully (possibly after retries, possibly restored
+    /// from a resume journal).
+    Ok,
+    /// Failed deterministically (simulator error or failed dependency).
+    Failed,
+    /// Cancelled by the cycle-budget watchdog.
+    Timeout,
+    /// Kept failing transiently; isolated after exhausting retries.
+    Quarantined,
+}
+
+impl JobStatus {
+    /// Machine-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+            JobStatus::Timeout => "timeout",
+            JobStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// The numbers a sweep row needs from a completed job — small enough to
+/// journal as one JSONL line, complete enough to rebuild the job's v3
+/// JSON row without re-running the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSummary {
+    /// A cycle-level simulator job.
+    Sim {
+        /// Simulated cycles.
+        cycles: u64,
+        /// Committed instructions.
+        committed: u64,
+        /// Per-cause stall cycles, indexed like [`StallCause::all`].
+        stalls: [u64; 9],
+    },
+    /// A timing-speculation analysis job.
+    Ts {
+        /// TS cycle count.
+        cycles: u64,
+        /// Committed instructions of the matching baseline (TS replays
+        /// the same trace).
+        committed: u64,
+        /// Clock-corrected speedup over the measured baseline.
+        speedup: f64,
+    },
+}
+
+impl CellSummary {
+    /// Simulated cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            CellSummary::Sim { cycles, .. } | CellSummary::Ts { cycles, .. } => *cycles,
+        }
+    }
+
+    /// Committed instruction count.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        match self {
+            CellSummary::Sim { committed, .. } | CellSummary::Ts { committed, .. } => *committed,
+        }
+    }
+
+    /// The stall counters of a simulator summary.
+    #[must_use]
+    pub fn stalls(&self) -> Option<&[u64; 9]> {
+        match self {
+            CellSummary::Sim { stalls, .. } => Some(stalls),
+            CellSummary::Ts { .. } => None,
+        }
+    }
+}
+
+/// Stall-cause labels in the canonical order used by [`CellSummary::Sim`].
+#[must_use]
+pub fn stall_labels() -> [&'static str; 9] {
+    StallCause::all().map(StallCause::label)
+}
+
+/// An injected fault for one job key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic on attempts `1..=times`, succeed afterwards. `times` beyond
+    /// the retry limit makes the job quarantine.
+    Panic {
+        /// Number of leading attempts that panic.
+        times: u32,
+    },
+    /// Replace the job with an endless instruction stream: the job never
+    /// finishes on its own and must be stopped by the cycle-budget
+    /// watchdog (or by killing the process — the crash-safety test).
+    Hang,
+    /// Fail deterministically with a simulator error.
+    Fail,
+}
+
+/// A set of injected faults keyed by job (`bench/CORE/mode`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<String, Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (production behaviour).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add a fault for `key` (builder-style).
+    #[must_use]
+    pub fn with(mut self, key: &str, fault: Fault) -> Self {
+        self.faults.insert(key.to_string(), fault);
+        self
+    }
+
+    /// The fault planned for `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Fault> {
+        self.faults.get(key).copied()
+    }
+
+    /// Parse a plan from the `REDSOC_FAULT` syntax:
+    /// comma-separated `bench/CORE/mode=kind` entries where `kind` is
+    /// `panic` (panic once), `panic:N` (panic on the first N attempts),
+    /// `hang`, or `fail`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (key, kind) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry {entry:?} is not key=kind"))?;
+            let fault = match kind.trim() {
+                "hang" => Fault::Hang,
+                "fail" => Fault::Fail,
+                "panic" => Fault::Panic { times: 1 },
+                other => match other.strip_prefix("panic:") {
+                    Some(n) => Fault::Panic {
+                        times: n
+                            .parse()
+                            .map_err(|e| format!("bad panic count in {entry:?}: {e}"))?,
+                    },
+                    None => {
+                        return Err(format!(
+                            "unknown fault kind {other:?} (panic|panic:N|hang|fail)"
+                        ))
+                    }
+                },
+            };
+            plan.faults.insert(key.trim().to_string(), fault);
+        }
+        Ok(plan)
+    }
+
+    /// Parse the plan from the `REDSOC_FAULT` environment variable; the
+    /// empty plan when unset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] errors.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("REDSOC_FAULT") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+}
+
+/// Supervisor policy for one sweep.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Retries granted after a transient failure (so a job runs at most
+    /// `1 + max_retries` times).
+    pub max_retries: u32,
+    /// Base of the deterministic exponential backoff: attempt `n` sleeps
+    /// `backoff_base * 2^(n-1)` before retrying.
+    pub backoff_base: Duration,
+    /// Cycle budget per job attempt; `None` disables the watchdog.
+    pub job_timeout_cycles: Option<u64>,
+    /// Injected faults (tests and the CI resume smoke; empty otherwise).
+    pub faults: FaultPlan,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            job_timeout_cycles: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Deterministic backoff before retry attempt `attempt` (1-based
+    /// count of *failed* attempts so far): `base * 2^(attempt-1)`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.backoff_base * 2u32.saturating_pow(attempt.saturating_sub(1))
+    }
+}
+
+/// What one supervised job produced: the value on success, the final
+/// error otherwise, plus how many attempts were made.
+#[derive(Debug)]
+pub struct Supervised<R> {
+    /// The job's result.
+    pub result: Result<R, JobError>,
+    /// Attempts made (1 for a first-try success).
+    pub attempts: u32,
+}
+
+/// Run `attempt_fn` under supervision: panics are caught and classified,
+/// transient failures retried with deterministic backoff up to
+/// `cfg.max_retries` times, deterministic failures returned immediately.
+///
+/// `attempt_fn` receives the 1-based attempt number (fault injection uses
+/// it to panic only on early attempts).
+pub fn supervise<R>(
+    cfg: &SupervisorConfig,
+    mut attempt_fn: impl FnMut(u32) -> Result<R, JobError>,
+) -> Supervised<R> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| attempt_fn(attempts))).unwrap_or_else(|payload| {
+                Err(JobError::Panicked {
+                    payload: panic_message(payload.as_ref()),
+                })
+            });
+        match outcome {
+            Ok(value) => {
+                return Supervised {
+                    result: Ok(value),
+                    attempts,
+                }
+            }
+            Err(err) if err.is_transient() && attempts <= cfg.max_retries => {
+                let backoff = cfg.backoff(attempts);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            Err(err) => {
+                return Supervised {
+                    result: Err(err),
+                    attempts,
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> SupervisorConfig {
+        SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_try_success_is_one_attempt() {
+        let s = supervise(&fast(), |_| Ok::<_, JobError>(7));
+        assert_eq!(s.attempts, 1);
+        assert_eq!(s.result.unwrap(), 7);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_then_succeeds() {
+        let s = supervise(&fast(), |attempt| {
+            assert!(attempt <= 3);
+            if attempt <= 2 {
+                panic!("injected fault (attempt {attempt})");
+            }
+            Ok::<_, JobError>("recovered")
+        });
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.result.unwrap(), "recovered");
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_and_quarantines() {
+        let s = supervise(&fast(), |attempt| -> Result<(), JobError> {
+            panic!("always broken (attempt {attempt})");
+        });
+        assert_eq!(s.attempts, 3, "1 try + 2 retries");
+        let err = s.result.unwrap_err();
+        assert!(matches!(&err, JobError::Panicked { payload } if payload.contains("always")));
+        assert_eq!(err.terminal_status(), JobStatus::Quarantined);
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let mut calls = 0;
+        let s = supervise(&fast(), |_| -> Result<(), JobError> {
+            calls += 1;
+            Err(JobError::Timeout { budget: 100 })
+        });
+        assert_eq!(s.attempts, 1);
+        assert_eq!(calls, 1, "timeouts are deterministic: no retry");
+        assert_eq!(s.result.unwrap_err().terminal_status(), JobStatus::Timeout);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(10),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff(1), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn fault_plan_parses_the_env_syntax() {
+        let plan =
+            FaultPlan::parse("crc/BIG/redsoc=hang, bitcnt/SMALL/baseline=panic:2,conv/BIG/ts=fail")
+                .expect("valid spec");
+        assert_eq!(plan.get("crc/BIG/redsoc"), Some(Fault::Hang));
+        assert_eq!(
+            plan.get("bitcnt/SMALL/baseline"),
+            Some(Fault::Panic { times: 2 })
+        );
+        assert_eq!(plan.get("conv/BIG/ts"), Some(Fault::Fail));
+        assert_eq!(plan.get("missing/BIG/mos"), None);
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("a/b/c=explode").is_err());
+        assert!(FaultPlan::parse("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn error_taxonomy_maps_to_statuses() {
+        use redsoc_core::sim::SimError;
+        assert_eq!(
+            JobError::Sim(SimError::BadConfig("x".into())).terminal_status(),
+            JobStatus::Failed
+        );
+        assert_eq!(
+            JobError::DependencyFailed { key: "k".into() }.terminal_status(),
+            JobStatus::Failed
+        );
+        assert_eq!(
+            JobError::Panicked {
+                payload: "p".into()
+            }
+            .terminal_status(),
+            JobStatus::Quarantined
+        );
+        assert_eq!(JobError::Poisoned.terminal_status(), JobStatus::Quarantined);
+    }
+}

@@ -1,7 +1,7 @@
 //! Fast golden test of the machine-readable sweep: at a tiny trace
 //! length the full sweep must cover all 16 workloads × 3 cores, serialise
-//! to JSON that parses back, and report finite, positive speedups
-//! everywhere.
+//! to JSON that parses back, and report finite, positive speedups plus an
+//! `ok` supervision status everywhere.
 
 use redsoc_bench::json::Json;
 use redsoc_bench::runner::{run_full_sweep, sweep_json, Mode};
@@ -19,7 +19,7 @@ fn full_sweep_json_is_complete_and_sane() {
     let doc = Json::parse(&text).expect("sweep JSON parses back");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("redsoc-bench-sweep/v2")
+        Some("redsoc-bench-sweep/v3")
     );
     assert_eq!(
         doc.get("trace_len").and_then(Json::as_num),
@@ -33,6 +33,16 @@ fn full_sweep_json_is_complete_and_sane() {
         .get("wall_seconds")
         .and_then(Json::as_num)
         .is_some_and(|w| w > 0.0));
+
+    // /v3: the top-level status tally must show a fully-ok sweep.
+    let counts = doc.get("status_counts").expect("status_counts in /v3");
+    for failing in ["failed", "timeout", "quarantined"] {
+        assert_eq!(
+            counts.get(failing).and_then(Json::as_num),
+            Some(0.0),
+            "clean sweep must have zero {failing} cells"
+        );
+    }
 
     let jobs = doc.get("jobs").and_then(Json::as_arr).expect("jobs array");
     // 16 workloads × 3 cores × 4 modes.
@@ -52,9 +62,27 @@ fn full_sweep_json_is_complete_and_sane() {
         }
     }
 
-    // Sanity of every row: finite positive speedup, real cycle counts.
+    // Sanity of every row: ok status, finite positive speedup, real
+    // cycle counts.
     for j in jobs {
         let name = j.get("benchmark").and_then(Json::as_str).unwrap_or("?");
+        assert_eq!(
+            j.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{name}: clean sweep rows must be ok"
+        );
+        assert!(
+            j.get("attempts")
+                .and_then(Json::as_num)
+                .is_some_and(|a| (a - 1.0).abs() < 1e-12),
+            "{name}: clean rows succeed on the first attempt"
+        );
+        assert_eq!(j.get("restored"), Some(&Json::Bool(false)));
+        assert_eq!(
+            j.get("error"),
+            Some(&Json::Null),
+            "{name}: ok rows carry a null error"
+        );
         let speedup = j
             .get("speedup_over_baseline")
             .and_then(Json::as_num)
@@ -78,10 +106,10 @@ fn full_sweep_json_is_complete_and_sane() {
                 "{name}: baseline speedup must be 1.0, got {speedup}"
             );
         }
-        // /v2: simulator rows carry a stall breakdown that partitions
-        // cycles exactly; TS rows (analytical, no pipeline) carry null.
+        // Simulator rows carry a stall breakdown that partitions cycles
+        // exactly; TS rows (analytical, no pipeline) carry null.
         let mode = j.get("mode").and_then(Json::as_str).unwrap_or("?");
-        let stalls = j.get("stalls").expect("stalls field present in /v2");
+        let stalls = j.get("stalls").expect("stalls field present in /v3");
         if mode == "ts" {
             assert_eq!(*stalls, Json::Null, "{name}: TS rows have null stalls");
         } else {

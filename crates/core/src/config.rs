@@ -97,6 +97,9 @@ impl SchedulerConfig {
     }
 }
 
+/// Default deadlock-watchdog threshold in commit-free cycles.
+pub const DEFAULT_DEADLOCK_CYCLES: u64 = 100_000;
+
 /// Full core configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
@@ -132,6 +135,12 @@ pub struct CoreConfig {
     pub mem_latencies: MemLatencies,
     /// Enable the stride prefetcher (Table I: on).
     pub prefetch: bool,
+    /// Deadlock-watchdog threshold: the simulator reports
+    /// [`SimError::Deadlock`](crate::sim::SimError) after this many cycles
+    /// without a single commit. Must be large enough that a worst-case
+    /// legitimate stall (DRAM miss chains, drained front end) cannot trip
+    /// it; validation rejects values below 1000 and above one billion.
+    pub deadlock_cycles: u64,
     /// Scheduler options.
     pub sched: SchedulerConfig,
 }
@@ -156,6 +165,7 @@ impl CoreConfig {
             l2: CacheConfig::l2_2m(),
             mem_latencies: MemLatencies::default(),
             prefetch: true,
+            deadlock_cycles: DEFAULT_DEADLOCK_CYCLES,
             sched: SchedulerConfig::baseline(),
         }
     }
@@ -230,6 +240,21 @@ impl CoreConfig {
         if self.sched.threshold_ticks > self.sched.quant().ticks_per_cycle() {
             return Err("threshold cannot exceed one cycle".into());
         }
+        if self.deadlock_cycles < 1_000 {
+            return Err(format!(
+                "deadlock watchdog threshold {} is too small: legitimate \
+                 stalls (DRAM miss chains) span thousands of cycles; use \
+                 at least 1000",
+                self.deadlock_cycles
+            ));
+        }
+        if self.deadlock_cycles > 1_000_000_000 {
+            return Err(format!(
+                "deadlock watchdog threshold {} is absurd (> 1e9): the \
+                 watchdog would never fire within a practical run",
+                self.deadlock_cycles
+            ));
+        }
         Ok(())
     }
 }
@@ -295,5 +320,21 @@ mod tests {
         let mut c = CoreConfig::small();
         c.sched.threshold_ticks = 100;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_the_deadlock_watchdog() {
+        let mut c = CoreConfig::small();
+        assert_eq!(c.deadlock_cycles, DEFAULT_DEADLOCK_CYCLES);
+        c.deadlock_cycles = 0;
+        assert!(c.validate().is_err(), "zero threshold must be rejected");
+        c.deadlock_cycles = 999;
+        assert!(c.validate().is_err(), "sub-1000 threshold must be rejected");
+        c.deadlock_cycles = 2_000_000_000;
+        assert!(c.validate().is_err(), "absurd threshold must be rejected");
+        c.deadlock_cycles = 1_000;
+        assert!(c.validate().is_ok());
+        c.deadlock_cycles = 1_000_000_000;
+        assert!(c.validate().is_ok());
     }
 }

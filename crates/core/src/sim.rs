@@ -38,6 +38,8 @@
 //! producer.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use redsoc_isa::instruction::Instr;
 use redsoc_isa::opcode::{Cond, ExecClass, SimdOp};
@@ -74,6 +76,18 @@ pub enum SimError {
     },
     /// The core configuration failed validation.
     BadConfig(String),
+    /// The run was cancelled cooperatively — its [`CancelToken`] was
+    /// triggered, or the token's cycle budget ran out. The partial run is
+    /// discarded; this is the supervisor's watchdog path, not a model bug.
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+        /// Instructions committed before cancellation.
+        committed: u64,
+        /// Dump of the most recent pipeline events from the run's sink
+        /// (empty when events were disabled).
+        recent_events: Vec<String>,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -102,11 +116,72 @@ impl core::fmt::Display for SimError {
                 }
             }
             SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Cancelled {
+                cycle, committed, ..
+            } => {
+                write!(f, "run cancelled at cycle {cycle} ({committed} committed)")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Cooperative cancellation handle for a simulation run.
+///
+/// A token carries an optional **cycle budget** and a shared cancellation
+/// flag. The simulator polls the token from its main loop (every 1024
+/// cycles, so the check costs nothing measurable) and returns
+/// [`SimError::Cancelled`] once either trips. Clone the token before
+/// handing it to [`Simulator::with_cancel`] to keep a handle for
+/// triggering cancellation from another thread (a watchdog, a signal
+/// handler, a supervisor).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    budget: Option<u64>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (cancel via [`Self::cancel`]).
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires once the simulated cycle count reaches
+    /// `max_cycles` — the job-level runaway watchdog.
+    #[must_use]
+    pub fn with_budget(max_cycles: u64) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            budget: Some(max_cycles),
+        }
+    }
+
+    /// Request cancellation from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised (does not consider the budget).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The cycle budget, if one was set.
+    #[must_use]
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Whether a run at `cycle` should stop.
+    #[must_use]
+    pub fn should_stop(&self, cycle: u64) -> bool {
+        self.budget.is_some_and(|b| cycle >= b) || self.is_cancelled()
+    }
+}
 
 /// Dynamic instruction state while in flight.
 #[derive(Debug, Clone)]
@@ -189,6 +264,7 @@ enum IssueOutcome {
 #[derive(Debug)]
 pub struct Simulator {
     config: CoreConfig,
+    cancel: CancelToken,
     quant: Quant,
     /// The design-time slack LUT (worst-case PVT corner).
     base_lut: SlackLut,
@@ -246,6 +322,7 @@ impl Simulator {
             PvtModel::worst_case()
         };
         Ok(Simulator {
+            cancel: CancelToken::new(),
             quant,
             base_lut: SlackLut::new(),
             lut: SlackLut::new(),
@@ -277,12 +354,22 @@ impl Simulator {
         })
     }
 
+    /// Attach a cancellation token (builder-style). The run polls the
+    /// token and returns [`SimError::Cancelled`] once it trips — the
+    /// cooperative cycle-budget watchdog used by the sweep supervisor.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Run the trace to completion and return the report.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] if the pipeline stops making
-    /// progress (a model bug guard, not an expected outcome).
+    /// progress (a model bug guard, not an expected outcome), or
+    /// [`SimError::Cancelled`] if an attached [`CancelToken`] tripped.
     pub fn run(self, trace: impl Iterator<Item = DynOp>) -> Result<SimReport, SimError> {
         self.run_events(trace, &mut NullSink)
     }
@@ -306,6 +393,16 @@ impl Simulator {
         let mut last_progress_cycle = 0u64;
         let mut last_committed = 0u64;
         loop {
+            // Cooperative cancellation: polled every 1024 cycles so the
+            // hot loop stays branch-predictable and watchdog budgets are
+            // still observed within a rounding error of their value.
+            if self.cycle & 0x3FF == 0 && self.cancel.should_stop(self.cycle) {
+                return Err(SimError::Cancelled {
+                    cycle: self.cycle,
+                    committed: self.committed_total,
+                    recent_events: sink.recent(),
+                });
+            }
             // CPM-driven LUT recalibration at epoch boundaries (§V).
             if self.config.sched.pvt_guard_band && self.cycle.is_multiple_of(EPOCH_CYCLES) {
                 let gb = self.pvt.guard_band_ps(self.cycle);
@@ -320,7 +417,7 @@ impl Simulator {
             if self.committed_total != last_committed {
                 last_committed = self.committed_total;
                 last_progress_cycle = self.cycle;
-            } else if self.cycle - last_progress_cycle > 100_000 {
+            } else if self.cycle - last_progress_cycle > self.config.deadlock_cycles {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
                     committed: self.committed_total,
@@ -1900,5 +1997,63 @@ mod tests {
             cycles[1],
             cycles[2]
         );
+    }
+
+    #[test]
+    fn cycle_budget_cancels_a_long_run() {
+        let trace = logic_chain_trace(50_000);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+        let err = Simulator::new(config)
+            .expect("valid config")
+            .with_cancel(CancelToken::with_budget(512))
+            .run(trace.into_iter())
+            .expect_err("budget must cancel the run");
+        match err {
+            SimError::Cancelled {
+                cycle, committed, ..
+            } => {
+                // Polled every 1024 cycles, so detection lands on the next
+                // multiple of 1024 at or after the budget.
+                assert!((512..=2048).contains(&cycle), "cancelled at {cycle}");
+                assert!(committed < 50_000);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_cancel_flag_stops_the_run_immediately() {
+        let trace = logic_chain_trace(5_000);
+        let token = CancelToken::new();
+        token.cancel();
+        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+        let err = Simulator::new(config)
+            .expect("valid config")
+            .with_cancel(token)
+            .run(trace.into_iter())
+            .expect_err("pre-cancelled token must stop the run");
+        assert!(matches!(err, SimError::Cancelled { cycle: 0, .. }));
+    }
+
+    #[test]
+    fn unattached_token_runs_to_completion() {
+        let trace = logic_chain_trace(2_000);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+        let rep = Simulator::new(config)
+            .expect("valid config")
+            .with_cancel(CancelToken::new())
+            .run(trace.into_iter())
+            .expect("no budget, no cancel: must complete");
+        assert_eq!(rep.committed, 2_001);
+    }
+
+    #[test]
+    fn configured_deadlock_threshold_is_validated_at_construction() {
+        let mut config = CoreConfig::big();
+        config.deadlock_cycles = 0;
+        assert!(matches!(
+            Simulator::new(config),
+            Err(SimError::BadConfig(_))
+        ));
     }
 }

@@ -8,57 +8,119 @@
 //! redsoc compare crc --core medium
 //! redsoc sweep bzip2 --knob threshold
 //! redsoc bench --threads 8 --len 300000 --out BENCH_sweep.json
+//! redsoc bench --journal sweep.jnl --job-timeout 50000000
+//! redsoc bench --resume sweep.jnl --out BENCH_sweep.json
+//! redsoc sweepcmp a_sweep.json b_sweep.json
 //! ```
+//!
+//! Exit codes are structured so scripts can tell failure modes apart:
+//! `0` success, `1` I/O or comparison mismatch, `2` usage error, `3`
+//! simulator error, `4` sweep completed but with failed cells.
 
 use std::process::ExitCode;
 
-use redsoc::bench::runner::{run_full_sweep, sweep_json, Mode};
+use redsoc::bench::journal::Journal;
+use redsoc::bench::runner::{canonicalize_sweep, run_grid_supervised, sweep_json, Mode};
+use redsoc::bench::supervisor::{FaultPlan, SupervisorConfig};
 use redsoc::core::ts::run_ts;
 use redsoc::prelude::*;
 
-fn parse_core(s: &str) -> Result<CoreConfig, String> {
+/// A classified CLI failure: the message goes to stderr, the kind picks
+/// the process exit code.
+enum CliError {
+    /// Bad invocation: unknown command, flag, or flag value (exit 2).
+    Usage(String),
+    /// Filesystem / serialisation trouble, or a `sweepcmp` mismatch
+    /// (exit 1).
+    Io(String),
+    /// The simulator itself reported an error (exit 3).
+    Sim(String),
+    /// The sweep ran to completion but some cells failed (exit 4).
+    Partial(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Sim(m) | CliError::Partial(m) => m,
+        }
+    }
+
+    fn code(&self) -> ExitCode {
+        match self {
+            CliError::Io(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Sim(_) => ExitCode::from(3),
+            CliError::Partial(_) => ExitCode::from(4),
+        }
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn parse_core(s: &str) -> Result<CoreConfig, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "small" => Ok(CoreConfig::small()),
         "medium" => Ok(CoreConfig::medium()),
         "big" => Ok(CoreConfig::big()),
-        other => Err(format!("unknown core {other:?} (small|medium|big)")),
+        other => Err(usage_err(format!(
+            "unknown core {other:?} (small|medium|big)"
+        ))),
     }
 }
 
-fn parse_sched(s: &str) -> Result<SchedulerConfig, String> {
+fn parse_sched(s: &str) -> Result<SchedulerConfig, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "baseline" => Ok(SchedulerConfig::baseline()),
         "redsoc" => Ok(SchedulerConfig::redsoc()),
         "mos" => Ok(SchedulerConfig::mos()),
-        other => Err(format!("unknown scheduler {other:?} (baseline|redsoc|mos)")),
+        other => Err(usage_err(format!(
+            "unknown scheduler {other:?} (baseline|redsoc|mos)"
+        ))),
     }
 }
 
-fn parse_bench(s: &str) -> Result<Benchmark, String> {
+fn parse_bench(s: &str) -> Result<Benchmark, CliError> {
     Benchmark::all()
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(s))
         .ok_or_else(|| {
             let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
-            format!("unknown benchmark {s:?}; available: {names:?}")
+            usage_err(format!("unknown benchmark {s:?}; available: {names:?}"))
         })
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional args.
+/// Each command declares its accepted keys, so a typo fails with a usage
+/// hint instead of being silently ignored.
 struct Flags {
     pairs: Vec<(String, String)>,
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, String> {
+    fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
-                return Err(format!("unexpected argument {a:?}"));
+                return Err(usage_err(format!("unexpected argument {a:?}")));
             };
+            if !allowed.contains(&key) {
+                return Err(usage_err(format!(
+                    "unknown flag --{key}; accepted flags here: {}",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )));
+            }
             let Some(v) = it.next() else {
-                return Err(format!("flag --{key} needs a value"));
+                return Err(usage_err(format!("flag --{key} needs a value")));
             };
             pairs.push((key.to_string(), v.clone()));
         }
@@ -70,6 +132,19 @@ impl Flags {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a numeric flag, defaulting when absent.
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|e| usage_err(format!("bad --{key}: {e}"))),
+            None => Ok(default),
+        }
     }
 }
 
@@ -121,7 +196,7 @@ fn print_report(label: &str, rep: &SimReport) {
     );
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> CliResult {
     println!("{:<12} {:<8}", "benchmark", "class");
     for b in Benchmark::all() {
         println!("{:<12} {:<8}", b.name(), b.class().label());
@@ -129,26 +204,25 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let bench = parse_bench(args.first().ok_or("usage: redsoc run <bench> [flags]")?)?;
-    let flags = Flags::parse(&args[1..])?;
+fn cmd_run(args: &[String]) -> CliResult {
+    let bench = parse_bench(
+        args.first()
+            .ok_or_else(|| usage_err("usage: redsoc run <bench> [flags]"))?,
+    )?;
+    let flags = Flags::parse(&args[1..], &["core", "sched", "len", "events"])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
     let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
-    let len: u64 = flags
-        .get("len")
-        .unwrap_or("100000")
-        .parse()
-        .map_err(|e| format!("bad --len: {e}"))?;
+    let len: u64 = flags.num("len", 100_000)?;
     let trace = bench.trace(len);
     let cfg = core.clone().with_sched(sched.clone());
     let rep = match flags.get("events") {
         Some(path) => {
             // Stream the full event log as JSONL while simulating.
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
             let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
-            let rep =
-                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
+            let rep = simulate_events(trace.into_iter(), cfg, &mut sink)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
             let lines = sink.lines();
             sink.finish();
             println!("wrote {lines} events to {path}");
@@ -158,7 +232,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             // A bounded ring costs almost nothing and gives the deadlock
             // watchdog a pipeline dump to attach to its error.
             let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
-            simulate_events(trace.into_iter(), cfg, &mut ring).map_err(|e| e.to_string())?
+            simulate_events(trace.into_iter(), cfg, &mut ring)
+                .map_err(|e| CliError::Sim(e.to_string()))?
         }
     };
     print_report(
@@ -169,16 +244,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let bench = parse_bench(args.first().ok_or("usage: redsoc trace <bench> [flags]")?)?;
-    let flags = Flags::parse(&args[1..])?;
+fn cmd_trace(args: &[String]) -> CliResult {
+    let bench = parse_bench(
+        args.first()
+            .ok_or_else(|| usage_err("usage: redsoc trace <bench> [flags]"))?,
+    )?;
+    let flags = Flags::parse(&args[1..], &["core", "sched", "len", "format", "out"])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
     let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
-    let len: u64 = flags
-        .get("len")
-        .unwrap_or("20000")
-        .parse()
-        .map_err(|e| format!("bad --len: {e}"))?;
+    let len: u64 = flags.num("len", 20_000)?;
     let format = flags.get("format").unwrap_or("chrome");
     let trace = bench.trace(len);
     let cfg = core.clone().with_sched(sched.clone());
@@ -186,9 +260,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         "chrome" => {
             let out = flags.get("out").unwrap_or("trace.json");
             let mut sink = ChromeTraceSink::new(sched.quant().ticks_per_cycle());
-            let rep =
-                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
-            std::fs::write(out, sink.finish()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            let rep = simulate_events(trace.into_iter(), cfg, &mut sink)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            std::fs::write(out, sink.finish())
+                .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
             println!(
                 "{} on {} ({:?}): {} cycles, {} committed",
                 bench.name(),
@@ -204,11 +279,11 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         }
         "jsonl" => {
             let out = flags.get("out").unwrap_or("trace.jsonl");
-            let file =
-                std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            let file = std::fs::File::create(out)
+                .map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
             let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
-            let rep =
-                simulate_events(trace.into_iter(), cfg, &mut sink).map_err(|e| e.to_string())?;
+            let rep = simulate_events(trace.into_iter(), cfg, &mut sink)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
             let lines = sink.lines();
             sink.finish();
             println!(
@@ -221,36 +296,37 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             );
             println!("wrote {lines} events to {out}");
         }
-        other => return Err(format!("unknown format {other:?} (chrome|jsonl)")),
+        other => {
+            return Err(usage_err(format!(
+                "unknown format {other:?} (accepted: --format chrome|jsonl)"
+            )))
+        }
     }
     Ok(())
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String]) -> CliResult {
     let bench = parse_bench(
         args.first()
-            .ok_or("usage: redsoc compare <bench> [flags]")?,
+            .ok_or_else(|| usage_err("usage: redsoc compare <bench> [flags]"))?,
     )?;
-    let flags = Flags::parse(&args[1..])?;
+    let flags = Flags::parse(&args[1..], &["core", "len"])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
-    let len: u64 = flags
-        .get("len")
-        .unwrap_or("100000")
-        .parse()
-        .map_err(|e| format!("bad --len: {e}"))?;
+    let len: u64 = flags.num("len", 100_000)?;
     let trace = bench.trace(len);
-    let base = simulate(trace.iter().copied(), core.clone()).map_err(|e| e.to_string())?;
+    let sim_err = |e: SimError| CliError::Sim(e.to_string());
+    let base = simulate(trace.iter().copied(), core.clone()).map_err(sim_err)?;
     let red = simulate(
         trace.iter().copied(),
         core.clone().with_sched(SchedulerConfig::redsoc()),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(sim_err)?;
     let mos = simulate(
         trace.iter().copied(),
         core.clone().with_sched(SchedulerConfig::mos()),
     )
-    .map_err(|e| e.to_string())?;
-    let ts = run_ts(&trace, &core, base.cycles, 0.01).map_err(|e| e.to_string())?;
+    .map_err(sim_err)?;
+    let ts = run_ts(&trace, &core, base.cycles, 0.01).map_err(sim_err)?;
     println!(
         "{} on {} ({} instructions)",
         bench.name(),
@@ -280,29 +356,26 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let bench = parse_bench(
-        args.first()
-            .ok_or("usage: redsoc sweep <bench> --knob <threshold|precision>")?,
-    )?;
-    let flags = Flags::parse(&args[1..])?;
+fn cmd_sweep(args: &[String]) -> CliResult {
+    let bench =
+        parse_bench(args.first().ok_or_else(|| {
+            usage_err("usage: redsoc sweep <bench> --knob <threshold|precision>")
+        })?)?;
+    let flags = Flags::parse(&args[1..], &["core", "knob", "len"])?;
     let core = parse_core(flags.get("core").unwrap_or("big"))?;
     let knob = flags.get("knob").unwrap_or("threshold");
-    let len: u64 = flags
-        .get("len")
-        .unwrap_or("60000")
-        .parse()
-        .map_err(|e| format!("bad --len: {e}"))?;
+    let len: u64 = flags.num("len", 60_000)?;
     let trace = bench.trace(len);
-    let base = simulate(trace.iter().copied(), core.clone()).map_err(|e| e.to_string())?;
+    let sim_err = |e: SimError| CliError::Sim(e.to_string());
+    let base = simulate(trace.iter().copied(), core.clone()).map_err(sim_err)?;
     match knob {
         "threshold" => {
             println!("{:<10} {:>9}", "threshold", "speedup");
             for t in 0..=7u64 {
                 let mut s = SchedulerConfig::redsoc();
                 s.threshold_ticks = t;
-                let rep = simulate(trace.iter().copied(), core.clone().with_sched(s))
-                    .map_err(|e| e.to_string())?;
+                let rep =
+                    simulate(trace.iter().copied(), core.clone().with_sched(s)).map_err(sim_err)?;
                 println!("{t:<10} {:>8.1}%", (rep.speedup_over(&base) - 1.0) * 100.0);
             }
         }
@@ -312,40 +385,108 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 let mut s = SchedulerConfig::redsoc();
                 s.ci_bits = bits;
                 s.threshold_ticks = (1 << bits) - 1;
-                let rep = simulate(trace.iter().copied(), core.clone().with_sched(s))
-                    .map_err(|e| e.to_string())?;
+                let rep =
+                    simulate(trace.iter().copied(), core.clone().with_sched(s)).map_err(sim_err)?;
                 println!(
                     "{bits:<10} {:>8.1}%",
                     (rep.speedup_over(&base) - 1.0) * 100.0
                 );
             }
         }
-        other => return Err(format!("unknown knob {other:?} (threshold|precision)")),
+        other => {
+            return Err(usage_err(format!(
+                "unknown knob {other:?} (accepted: --knob threshold|precision)"
+            )))
+        }
     }
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    let threads = match flags.get("threads") {
-        Some(t) => t
-            .parse::<usize>()
-            .map_err(|e| format!("bad --threads: {e}"))?
-            .max(1),
-        None => redsoc::bench::threads(),
-    };
-    let len: u64 = match flags.get("len") {
-        Some(l) => l.parse().map_err(|e| format!("bad --len: {e}"))?,
-        None => redsoc::bench::trace_len(),
-    };
+fn cmd_bench(args: &[String]) -> CliResult {
+    let flags = Flags::parse(
+        args,
+        &[
+            "threads",
+            "len",
+            "out",
+            "journal",
+            "resume",
+            "job-timeout",
+            "max-retries",
+            "backoff-ms",
+        ],
+    )?;
+    let threads = flags.num("threads", redsoc::bench::threads())?.max(1);
+    let len: u64 = flags.num("len", redsoc::bench::trace_len())?;
     let out = flags.get("out").unwrap_or("BENCH_sweep.json");
+
+    let mut sup = SupervisorConfig {
+        faults: FaultPlan::from_env().map_err(|e| usage_err(format!("bad REDSOC_FAULT: {e}")))?,
+        ..SupervisorConfig::default()
+    };
+    if let Some(t) = flags.get("job-timeout") {
+        let cycles: u64 = t
+            .parse()
+            .map_err(|e| usage_err(format!("bad --job-timeout: {e}")))?;
+        if cycles == 0 {
+            return Err(usage_err("--job-timeout must be a positive cycle count"));
+        }
+        sup.job_timeout_cycles = Some(cycles);
+    }
+    sup.max_retries = flags.num("max-retries", sup.max_retries)?;
+    sup.backoff_base = std::time::Duration::from_millis(flags.num("backoff-ms", 25u64)?);
+
+    let mut journal = match (flags.get("resume"), flags.get("journal")) {
+        (Some(_), Some(_)) => {
+            return Err(usage_err(
+                "--resume and --journal are exclusive: --resume reopens an \
+                 existing journal, --journal starts a fresh one",
+            ))
+        }
+        (Some(path), None) => Some(
+            Journal::resume(path)
+                .map_err(|e| CliError::Io(format!("cannot resume {path}: {e}")))?,
+        ),
+        (None, Some(path)) => Some(
+            Journal::create(path)
+                .map_err(|e| CliError::Io(format!("cannot create journal {path}: {e}")))?,
+        ),
+        (None, None) => None,
+    };
+    // Crash-injection hook for the resume tests: die (exit 86) after the
+    // nth checkpoint lands, as an uncontrolled kill would.
+    if let Some(j) = journal.as_mut() {
+        if let Some(n) = std::env::var("REDSOC_DIE_AFTER_JOBS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            j.set_die_after(Some(n));
+        }
+        let restored = j.restored().len();
+        if restored > 0 {
+            println!(
+                "resuming from {}: {restored} cell(s) checkpointed",
+                j.path().display()
+            );
+        }
+    }
+
     let cache = redsoc::bench::TraceCache::new(len);
-    let grid = run_full_sweep(&cache, &Mode::all(), threads);
+    let grid = run_grid_supervised(
+        &cache,
+        &Benchmark::all(),
+        &redsoc::bench::cores(),
+        &Mode::all(),
+        threads,
+        &sup,
+        journal.as_ref(),
+    );
     let doc = sweep_json(&grid, len);
-    std::fs::write(out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    std::fs::write(out, doc.pretty())
+        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
     println!(
         "{} jobs ({} benchmarks x 3 cores x {} modes) on {threads} thread(s)",
-        grid.rows().len(),
+        grid.cells().len(),
         Benchmark::all().len(),
         Mode::all().len(),
     );
@@ -355,8 +496,63 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         grid.cpu_time().as_secs_f64(),
         grid.cpu_time().as_secs_f64() / grid.wall.as_secs_f64().max(1e-9)
     );
+    let counts = grid.status_counts();
+    println!(
+        "status: {}",
+        counts
+            .iter()
+            .map(|(s, n)| format!("{} {n}", s.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("wrote {out}");
-    Ok(())
+    if grid.fully_ok() {
+        Ok(())
+    } else {
+        let failed: Vec<String> = grid
+            .cells()
+            .iter()
+            .filter(|c| !c.is_ok())
+            .map(|c| format!("{} ({})", c.job.key(), c.status.label()))
+            .collect();
+        Err(CliError::Partial(format!(
+            "sweep completed with {} failed cell(s): {}",
+            failed.len(),
+            failed.join(", ")
+        )))
+    }
+}
+
+fn cmd_sweepcmp(args: &[String]) -> CliResult {
+    use redsoc::bench::json::Json;
+    let [a, b] = args else {
+        return Err(usage_err("usage: redsoc sweepcmp <a.json> <b.json>"));
+    };
+    let load = |path: &String| -> Result<Json, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| CliError::Io(format!("{path}: not valid sweep JSON: {e}")))?;
+        Ok(canonicalize_sweep(&doc))
+    };
+    let (da, db) = (load(a)?, load(b)?);
+    if da == db {
+        println!("sweeps match after canonicalisation (wall-clock fields ignored)");
+        Ok(())
+    } else {
+        // Point at the first differing job row to make mismatches
+        // debuggable without external tooling.
+        let ja = da.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+        let jb = db.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+        let mut detail = format!("{} has {} jobs, {} has {}", a, ja.len(), b, jb.len());
+        for (i, (ra, rb)) in ja.iter().zip(jb.iter()).enumerate() {
+            if ra != rb {
+                detail = format!("first differing job row is #{i}:\n  {a}: {ra:?}\n  {b}: {rb:?}");
+                break;
+            }
+        }
+        Err(CliError::Io(format!("sweeps differ: {detail}")))
+    }
 }
 
 fn usage() -> String {
@@ -372,10 +568,16 @@ fn usage() -> String {
      \x20 compare <bench> [flags]  baseline vs ReDSOC vs TS vs MOS\n\
      \x20 sweep <bench> [flags]    design-knob sweep (--knob threshold|precision)\n\
      \x20 bench [flags]            full parallel sweep -> machine-readable JSON\n\
-     \x20                          (--threads N  --len N  --out FILE;\n\
-     \x20                          defaults: all cores, REDSOC_THREADS, BENCH_sweep.json)\n\
+     \x20                          (--threads N  --len N  --out FILE\n\
+     \x20                          --journal FILE   checkpoint cells as they finish\n\
+     \x20                          --resume FILE    reopen a journal, skip done cells\n\
+     \x20                          --job-timeout N  per-job cycle budget\n\
+     \x20                          --max-retries N  retries for transient failures\n\
+     \x20                          --backoff-ms N   retry backoff base)\n\
+     \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock\n\
      \n\
-     flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N"
+     flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N\n\
+     exit codes: 0 ok, 1 io/mismatch, 2 usage, 3 simulator error, 4 partial sweep"
         .to_string()
 }
 
@@ -388,13 +590,14 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
-        _ => Err(usage()),
+        Some("sweepcmp") => cmd_sweepcmp(&args[1..]),
+        _ => Err(CliError::Usage(usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("{}", e.message());
+            e.code()
         }
     }
 }

@@ -53,7 +53,7 @@ pub mod prelude {
     pub use redsoc_core::events::{
         ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
     };
-    pub use redsoc_core::sim::{simulate, simulate_events, SimError, Simulator};
+    pub use redsoc_core::sim::{simulate, simulate_events, CancelToken, SimError, Simulator};
     pub use redsoc_core::stats::{OpCategory, SimReport, StallBreakdown, StallCause};
     pub use redsoc_core::ts::{run_ts, TsResult};
     pub use redsoc_isa::prelude::*;

@@ -1,0 +1,272 @@
+//! End-to-end fault-injection suite for the supervised sweep engine.
+//!
+//! Drives the real `redsoc` binary the way an operator (or CI) would:
+//!
+//! 1. a **clean** reference sweep;
+//! 2. the same sweep with an injected **hang** (stopped by the cycle
+//!    budget) and an injected persistent **panic** (quarantined after
+//!    retries) — the sweep must complete with exactly those two cells
+//!    degraded and every other cell byte-identical to the clean run;
+//! 3. the same faulted sweep **killed mid-run** after five journal
+//!    checkpoints, then **resumed** — the resumed document must be
+//!    byte-identical (modulo wall-clock) to the uninterrupted faulted
+//!    run, restoring exactly the five journaled cells;
+//! 4. the CLI's structured exit codes and usage rejection paths.
+//!
+//! Everything runs at a tiny trace length so the whole suite stays in
+//! test-suite time budgets; determinism makes byte-identity meaningful.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use redsoc::bench::json::Json;
+use redsoc::bench::runner::canonicalize_sweep;
+
+const LEN: &str = "2000";
+const THREADS: &str = "2";
+// The slowest legitimate cell at `LEN` (CONV on the SMALL core, heavily
+// memory-bound) takes ~271k cycles; a 1M budget only fires on real hangs.
+const BUDGET: &str = "1000000";
+const HANG_KEY: &str = "crc/BIG/redsoc";
+const PANIC_KEY: &str = "bitcnt/SMALL/redsoc";
+const FAULTS: &str = "crc/BIG/redsoc=hang,bitcnt/SMALL/redsoc=panic:9";
+
+fn redsoc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_redsoc"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("redsoc-fault-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn bench_args(out: &Path) -> Vec<String> {
+    [
+        "bench",
+        "--threads",
+        THREADS,
+        "--len",
+        LEN,
+        "--max-retries",
+        "1",
+        "--backoff-ms",
+        "0",
+        "--out",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([out.display().to_string()])
+    .collect()
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn redsoc")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("exit code (not a signal)")
+}
+
+fn load_sweep(path: &Path) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Json::parse(&text).expect("sweep JSON parses")
+}
+
+/// Job rows of a sweep document, keyed `bench/CORE/mode`.
+fn rows(doc: &Json) -> Vec<(String, &Json)> {
+    doc.get("jobs")
+        .and_then(Json::as_arr)
+        .expect("jobs array")
+        .iter()
+        .map(|j| {
+            let field = |k: &str| j.get(k).and_then(Json::as_str).expect("string field");
+            (
+                format!("{}/{}/{}", field("benchmark"), field("core"), field("mode")),
+                j,
+            )
+        })
+        .collect()
+}
+
+fn status_of<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    rows(doc)
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("row {key} missing"))
+        .1
+}
+
+#[test]
+fn injected_faults_degrade_cells_and_resume_is_byte_identical() {
+    let dir = tmp_dir("e2e");
+    let clean = dir.join("clean.json");
+    let faulted = dir.join("faulted.json");
+    let dead = dir.join("dead.json");
+    let resumed = dir.join("resumed.json");
+    let journal = dir.join("sweep.jnl");
+
+    // 1. Clean reference run: exits 0, all cells ok.
+    let out = run(redsoc().args(bench_args(&clean)));
+    assert_eq!(exit_code(&out), 0, "clean sweep must succeed: {out:?}");
+    let clean_doc = load_sweep(&clean);
+
+    // 2. Faulted but uninterrupted: one hang (timeout under the cycle
+    // budget) and one persistent panic (quarantined after retries). The
+    // sweep must complete and exit 4 (partial), not crash.
+    let out = run(redsoc()
+        .args(bench_args(&faulted))
+        .args(["--job-timeout", BUDGET])
+        .env("REDSOC_FAULT", FAULTS));
+    assert_eq!(exit_code(&out), 4, "partial sweep exits 4: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 failed cell(s)"),
+        "stderr names the failed cells: {stderr}"
+    );
+    let faulted_doc = load_sweep(&faulted);
+
+    let hung = status_of(&faulted_doc, HANG_KEY);
+    assert_eq!(hung.get("status").and_then(Json::as_str), Some("timeout"));
+    assert_eq!(hung.get("cycles"), Some(&Json::Null));
+    let err = hung.get("error").expect("error record");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("timeout"));
+    assert!(
+        err.get("recent_events")
+            .and_then(Json::as_arr)
+            .is_some_and(|e| !e.is_empty()),
+        "timeout cells attach a post-mortem event dump"
+    );
+
+    let panicked = status_of(&faulted_doc, PANIC_KEY);
+    assert_eq!(
+        panicked.get("status").and_then(Json::as_str),
+        Some("quarantined")
+    );
+    assert_eq!(
+        panicked.get("attempts").and_then(Json::as_num),
+        Some(2.0),
+        "one try + one retry (--max-retries 1)"
+    );
+    assert_eq!(
+        panicked
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("panicked")
+    );
+
+    // Every *other* cell must be byte-identical to the clean run.
+    let clean_rows = rows(&clean_doc);
+    let faulted_rows = rows(&faulted_doc);
+    assert_eq!(clean_rows.len(), faulted_rows.len(), "same grid coverage");
+    for ((ck, cv), (fk, fv)) in clean_rows.iter().zip(faulted_rows.iter()) {
+        assert_eq!(ck, fk, "same row order");
+        if ck == HANG_KEY || ck == PANIC_KEY {
+            continue;
+        }
+        assert_eq!(
+            canonicalize_sweep(cv).pretty(),
+            canonicalize_sweep(fv).pretty(),
+            "fault in one cell must not perturb {ck}"
+        );
+    }
+
+    // 3. Same faulted sweep, journaled, killed after five checkpoints.
+    let out = run(redsoc()
+        .args(bench_args(&dead))
+        .args(["--job-timeout", BUDGET])
+        .args(["--journal", &journal.display().to_string()])
+        .env("REDSOC_FAULT", FAULTS)
+        .env("REDSOC_DIE_AFTER_JOBS", "5"));
+    assert_eq!(exit_code(&out), 86, "injected kill exits 86: {out:?}");
+    assert!(!dead.exists(), "killed sweep must not write its output");
+
+    // 4. Resume from the journal: only missing cells re-run, and the
+    // final document matches the uninterrupted faulted run byte for
+    // byte once wall-clock fields are canonicalised away.
+    let out = run(redsoc()
+        .args(bench_args(&resumed))
+        .args(["--job-timeout", BUDGET])
+        .args(["--resume", &journal.display().to_string()])
+        .env("REDSOC_FAULT", FAULTS));
+    assert_eq!(
+        exit_code(&out),
+        4,
+        "resumed sweep is still partial: {out:?}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resuming from") && stdout.contains("5 cell(s)"),
+        "resume reports the restored checkpoint count: {stdout}"
+    );
+    let resumed_doc = load_sweep(&resumed);
+    let restored = rows(&resumed_doc)
+        .iter()
+        .filter(|(_, j)| j.get("restored") == Some(&Json::Bool(true)))
+        .count();
+    assert_eq!(restored, 5, "exactly the journaled cells are restored");
+    assert_eq!(
+        canonicalize_sweep(&faulted_doc).pretty(),
+        canonicalize_sweep(&resumed_doc).pretty(),
+        "resumed sweep must be byte-identical to the uninterrupted run"
+    );
+
+    // `redsoc sweepcmp` agrees (and is what the CI smoke step uses).
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &faulted.display().to_string(),
+        &resumed.display().to_string(),
+    ]));
+    assert_eq!(exit_code(&out), 0, "sweepcmp accepts matching sweeps");
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &clean.display().to_string(),
+        &faulted.display().to_string(),
+    ]));
+    assert_eq!(exit_code(&out), 1, "sweepcmp rejects differing sweeps");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_maps_errors_to_structured_exit_codes() {
+    // Usage errors: exit 2 with a hint, no backtrace.
+    let cases: &[&[&str]] = &[
+        &["run", "nosuchbench"],
+        &["trace", "crc", "--len", "50", "--format", "nope"],
+        &["sweep", "crc", "--len", "50", "--knob", "nope"],
+        &["bench", "--bogus", "1"],
+        &["bench", "--resume", "a.jnl", "--journal", "b.jnl"],
+        &["bench", "--job-timeout", "0"],
+        &["frobnicate"],
+    ];
+    for args in cases {
+        let out = run(redsoc().args(*args));
+        assert_eq!(exit_code(&out), 2, "usage error for {args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?} must not panic: {stderr}"
+        );
+    }
+
+    // Unknown flag names the accepted set.
+    let out = run(redsoc().args(["bench", "--bogus", "1"]));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag --bogus") && stderr.contains("--job-timeout"),
+        "usage hint lists accepted flags: {stderr}"
+    );
+
+    // Malformed fault plans are usage errors too.
+    let out = run(redsoc()
+        .args(["bench", "--len", "50"])
+        .env("REDSOC_FAULT", "not-a-spec"));
+    assert_eq!(exit_code(&out), 2, "bad REDSOC_FAULT: {out:?}");
+
+    // I/O errors: exit 1.
+    let out = run(redsoc().args(["sweepcmp", "/nonexistent/a.json", "/nonexistent/b.json"]));
+    assert_eq!(exit_code(&out), 1, "missing sweep file exits 1: {out:?}");
+}
