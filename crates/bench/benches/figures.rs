@@ -9,8 +9,8 @@ use redsoc_bench::microbench::{bench, group};
 use redsoc_bench::runner::{run_grid, Mode};
 use redsoc_bench::{compare_ts, cores, redsoc_for, TraceCache};
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
-use redsoc_core::ts::error_rate_at;
+use redsoc_core::pipeline::simulate;
+use redsoc_core::sched::ts::error_rate_at;
 use redsoc_timing::optime::fig1_series;
 use redsoc_workloads::Benchmark;
 

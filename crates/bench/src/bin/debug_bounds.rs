@@ -1,7 +1,7 @@
 //! What bounds a kernel: sweep frontend width / FU counts / depth.
 use redsoc_bench::TraceCache;
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::pipeline::simulate;
 use redsoc_workloads::Benchmark;
 
 fn main() {

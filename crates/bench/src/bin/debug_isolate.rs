@@ -2,7 +2,7 @@
 //! time to find what hides the recycling gains.
 use redsoc_bench::TraceCache;
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::pipeline::simulate;
 use redsoc_workloads::spec::{spec_trace, SpecProfile};
 
 fn run(p: &SpecProfile, label: &str) {

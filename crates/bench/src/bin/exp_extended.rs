@@ -2,7 +2,7 @@
 //! paper's Fig. 10 set (qsort, dijkstra, sha_mix, dot_i8).
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::pipeline::simulate;
 use redsoc_isa::interp::Interpreter;
 use redsoc_isa::program::Program;
 use redsoc_isa::trace::DynOp;

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod grid;
 pub mod journal;
 pub mod json;
 pub mod microbench;
@@ -37,9 +38,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::pipeline::simulate;
+use redsoc_core::sched::ts::{run_ts, TsResult};
 use redsoc_core::stats::SimReport;
-use redsoc_core::ts::{run_ts, TsResult};
 use redsoc_isa::trace::DynOp;
 use redsoc_workloads::{BenchClass, Benchmark};
 

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use redsoc_core::sim::SimError;
+use redsoc_core::pipeline::SimError;
 use redsoc_core::stats::StallCause;
 
 /// Why a job failed: the structured taxonomy every failure is mapped to
@@ -468,7 +468,7 @@ mod tests {
 
     #[test]
     fn error_taxonomy_maps_to_statuses() {
-        use redsoc_core::sim::SimError;
+        use redsoc_core::pipeline::SimError;
         assert_eq!(
             JobError::Sim(SimError::BadConfig("x".into())).terminal_status(),
             JobStatus::Failed

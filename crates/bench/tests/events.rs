@@ -8,7 +8,7 @@ use redsoc_bench::json::Json;
 use redsoc_bench::runner::{run_grid, sweep_json, Mode};
 use redsoc_bench::{cores, TraceCache};
 use redsoc_core::events::{ChromeTraceSink, JsonlSink, VecSink};
-use redsoc_core::sim::{simulate_events, Simulator};
+use redsoc_core::pipeline::{simulate_events, Simulator};
 use redsoc_core::{CoreConfig, SchedulerConfig};
 use redsoc_workloads::Benchmark;
 

@@ -1,0 +1,52 @@
+//! Cross-scheduler golden-sweep equivalence.
+//!
+//! The committed fixture `fixtures/golden_sweep_len2000.json` is the full
+//! (benchmark × core × mode) sweep at trace length 2000, captured from the
+//! pre-refactor monolithic simulator. Re-running the sweep through the
+//! staged pipeline + `Scheduler`-trait decomposition must reproduce it
+//! **byte-identically** after canonicalisation (wall-clock, thread count
+//! and resume provenance neutralised) — for every scheduler mode
+//! (baseline, ReDSOC, MOS, TS) on every Table I core preset. Any
+//! cycle-count, IPC, stall-attribution, speedup or status drift in any of
+//! the 192 cells fails this test.
+//!
+//! To regenerate the fixture after an *intentional* behaviour change:
+//!
+//! ```text
+//! cargo build --release
+//! ./target/release/redsoc bench --threads 4 --len 2000 \
+//!     --out crates/bench/tests/fixtures/golden_sweep_len2000.json
+//! ```
+
+use redsoc_bench::grid::{canonicalize_sweep, sweep_json, Mode};
+use redsoc_bench::json::Json;
+use redsoc_bench::runner::run_full_sweep;
+use redsoc_bench::TraceCache;
+
+/// Must match the `--len` the fixture was captured with.
+const GOLDEN_LEN: u64 = 2000;
+
+const GOLDEN: &str = include_str!("fixtures/golden_sweep_len2000.json");
+
+#[test]
+fn sweep_matches_pre_refactor_golden_fixture() {
+    let golden = canonicalize_sweep(&Json::parse(GOLDEN).expect("fixture parses"));
+
+    let cache = TraceCache::new(GOLDEN_LEN);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let grid = run_full_sweep(&cache, &Mode::all(), threads);
+    assert!(grid.fully_ok(), "golden sweep must complete every cell");
+    let fresh = canonicalize_sweep(&sweep_json(&grid, GOLDEN_LEN));
+
+    if golden != fresh {
+        // Point at the first differing row so a regression is debuggable
+        // straight from the test log.
+        let ga = golden.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+        let fa = fresh.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+        assert_eq!(ga.len(), fa.len(), "job count drifted");
+        for (i, (g, f)) in ga.iter().zip(fa.iter()).enumerate() {
+            assert_eq!(g, f, "job row #{i} diverged from the golden fixture");
+        }
+        panic!("sweep-level fields diverged from the golden fixture");
+    }
+}

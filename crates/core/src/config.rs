@@ -136,7 +136,7 @@ pub struct CoreConfig {
     /// Enable the stride prefetcher (Table I: on).
     pub prefetch: bool,
     /// Deadlock-watchdog threshold: the simulator reports
-    /// [`SimError::Deadlock`](crate::sim::SimError) after this many cycles
+    /// [`SimError::Deadlock`](crate::pipeline::SimError) after this many cycles
     /// without a single commit. Must be large enough that a worst-case
     /// legitimate stall (DRAM miss chains, drained front end) cannot trip
     /// it; validation rejects values below 1000 and above one billion.

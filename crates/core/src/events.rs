@@ -13,7 +13,7 @@
 //! - [`VecSink`] — collects every event in memory (tests, analysis);
 //! - [`RingSink`] — bounded ring of the most recent events, with
 //!   run-length compression of repeated stall cycles; the deadlock
-//!   watchdog dumps it into [`SimError::Deadlock`](crate::sim::SimError);
+//!   watchdog dumps it into [`SimError::Deadlock`](crate::pipeline::SimError);
 //! - [`JsonlSink`] — one JSON object per line to any `io::Write`
 //!   (`redsoc trace --format jsonl`);
 //! - [`ChromeTraceSink`] — a Chrome `trace_event` document loadable in

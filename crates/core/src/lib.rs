@@ -15,9 +15,18 @@
 //!
 //! atop the paper's Table I core configurations (Small / Medium / Big).
 //!
-//! [§IV-B]: crate::sim
+//! [§IV-B]: crate::pipeline
 //! [§IV-C]: crate::config::SchedulerConfig
 //! [§IV-D]: crate::config::SchedulerConfig::redsoc
+//!
+//! ## Architecture
+//!
+//! Pipeline *mechanism* lives in [`pipeline`] (staged modules over a
+//! shared [`pipeline::state::PipelineState`]); scheduling *policy* lives
+//! behind the [`sched::Scheduler`] trait, with one module per design
+//! under [`sched`]. [`Simulator::new`] wires the two together from
+//! `config.sched.mode`; [`Simulator::with_scheduler`] accepts any custom
+//! policy.
 //!
 //! ## Quick start
 //!
@@ -53,10 +62,10 @@ pub mod branch;
 pub mod config;
 pub mod events;
 pub mod fu;
-pub mod sim;
+pub mod pipeline;
+pub mod sched;
 pub mod stats;
 pub mod tag_pred;
-pub mod ts;
 
 /// Convenient import surface for driving simulations.
 pub mod prelude {
@@ -64,11 +73,13 @@ pub mod prelude {
     pub use crate::events::{
         ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
     };
-    pub use crate::sim::{simulate, simulate_events, SimError, Simulator};
+    pub use crate::pipeline::{simulate, simulate_events, CancelToken, SimError, Simulator};
+    pub use crate::sched::ts::{run_ts, TsResult};
+    pub use crate::sched::{build_scheduler, Scheduler, SelectRequest};
     pub use crate::stats::{ChainStats, OpCategory, OpMix, SimReport, StallBreakdown, StallCause};
-    pub use crate::ts::{run_ts, TsResult};
 }
 
 pub use config::{CoreConfig, SchedMode, SchedulerConfig};
-pub use sim::{simulate, simulate_events, SimError, Simulator};
+pub use pipeline::{simulate, simulate_events, CancelToken, SimError, Simulator};
+pub use sched::Scheduler;
 pub use stats::SimReport;

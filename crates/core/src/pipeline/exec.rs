@@ -1,0 +1,203 @@
+//! Execute-stage mechanism: operand dataflow (bypass networks, VMLA
+//! late-forwarding, store-to-load forwarding) and completion timing of
+//! multi-cycle, memory and control operations.
+//!
+//! Completion timing of *recyclable* (single-cycle-class) operations is
+//! policy and is delegated to [`Scheduler::on_issue`]; whether an operand
+//! crosses the transparent bypass is delegated to
+//! [`Scheduler::transparent_pair`]. Everything else here is fixed
+//! mechanism shared by every scheduler.
+
+use redsoc_isa::instruction::Instr;
+use redsoc_isa::opcode::{ExecClass, SimdOp};
+use redsoc_isa::trace::DynOp;
+
+use crate::sched::{ExecTiming, Scheduler};
+
+use super::state::{Ifo, PipelineState};
+
+impl PipelineState {
+    /// Whether `consumer` is a VMLA reading `tag`'s value through its
+    /// accumulate operand (i.e. the producer wrote the VMLA's destination
+    /// register). Only this operand is late-forwarded; the multiply
+    /// operands feed the front of the multiply pipeline.
+    pub(crate) fn is_acc_operand(producer: &Ifo, consumer: &Ifo) -> bool {
+        let Instr::Simd {
+            op: SimdOp::Vmla,
+            dst,
+            ..
+        } = consumer.op.instr
+        else {
+            return false;
+        };
+        producer.dst_arch == Some(dst)
+    }
+
+    /// First cycle at which consumers of `tag` may be selected; `None` if
+    /// the producer has not issued yet. Retired producers are ready.
+    ///
+    /// A VMLA's multiply operands need an extra `simd_mul - 1` cycles of
+    /// lead so the pipelined multiply overlaps the accumulate chain (§V
+    /// late-forwarding); its accumulate operand follows the normal
+    /// single-cycle path.
+    #[must_use]
+    pub fn src_sel_ready(&self, tag: u64, consumer: &Ifo) -> Option<u64> {
+        let Some(p) = self.ifo(tag) else {
+            return Some(0);
+        };
+        if !p.issued {
+            return None;
+        }
+        let is_vmla = matches!(
+            consumer.op.instr,
+            Instr::Simd {
+                op: SimdOp::Vmla,
+                ..
+            }
+        );
+        if is_vmla && !Self::is_acc_operand(p, consumer) {
+            return Some(p.sel_ready + u64::from(self.latencies.simd_mul - 1));
+        }
+        Some(p.sel_ready)
+    }
+
+    /// The tick at which `consumer` can use `tag`'s value: the raw
+    /// Completion Instant when the scheduler's
+    /// [`transparent_pair`](Scheduler::transparent_pair) policy allows the
+    /// transparent bypass, or the next clock boundary.
+    ///
+    /// A VMLA consumer sees transparency only on its accumulate operand —
+    /// multiply operands enter the (true-synchronous) multiply array.
+    pub(crate) fn avail_for(&self, sched: &dyn Scheduler, tag: u64, consumer: &Ifo) -> (u64, bool) {
+        let Some(p) = self.ifo(tag) else {
+            return (0, false);
+        };
+        debug_assert!(p.issued, "avail_for called before producer issue");
+        let is_vmla = matches!(
+            consumer.op.instr,
+            Instr::Simd {
+                op: SimdOp::Vmla,
+                ..
+            }
+        );
+        if is_vmla && !Self::is_acc_operand(p, consumer) {
+            return (self.quant.ceil_to_cycle(p.avail), false);
+        }
+        if sched.transparent_pair(p, consumer) {
+            (p.avail, self.quant.ci_of(p.avail) != 0)
+        } else {
+            (self.quant.ceil_to_cycle(p.avail), false)
+        }
+    }
+
+    /// Whether a waiting load is blocked by an older overlapping store that
+    /// has not produced its data yet (perfect disambiguation: the trace
+    /// gives exact addresses).
+    #[must_use]
+    pub fn load_blocked(&self, load: &Ifo) -> bool {
+        let Some(addr) = load.op.eff_addr else {
+            return false;
+        };
+        let (a0, a1) = Self::byte_range(addr, &load.op.instr);
+        self.ifos.iter().any(|s| {
+            s.op.seq < load.op.seq
+                && matches!(s.op.instr, Instr::Store { .. })
+                && !s.issued
+                && s.op.eff_addr.is_some_and(|sa| {
+                    let (s0, s1) = Self::byte_range(sa, &s.op.instr);
+                    s0 < a1 && a0 < s1
+                })
+        })
+    }
+
+    pub(crate) fn byte_range(addr: u32, instr: &Instr) -> (u64, u64) {
+        let w = match instr {
+            Instr::Load { width, .. } | Instr::Store { width, .. } => width.bytes(),
+            _ => 4,
+        };
+        (u64::from(addr), u64::from(addr) + u64::from(w))
+    }
+
+    /// The youngest older store overlapping this load, if any (for
+    /// store-to-load forwarding).
+    pub(crate) fn forwarding_store(&self, load: &Ifo) -> Option<&Ifo> {
+        let addr = load.op.eff_addr?;
+        let (a0, a1) = Self::byte_range(addr, &load.op.instr);
+        self.ifos
+            .iter()
+            .filter(|s| {
+                s.op.seq < load.op.seq
+                    && matches!(s.op.instr, Instr::Store { .. })
+                    && s.op.eff_addr.is_some_and(|sa| {
+                        let (s0, s1) = Self::byte_range(sa, &s.op.instr);
+                        s0 < a1 && a0 < s1
+                    })
+            })
+            .max_by_key(|s| s.op.seq)
+    }
+
+    /// Completion/occupancy timing for non-recyclable classes: multi-cycle
+    /// arithmetic, memory and control. Returns the timing plus whether a
+    /// load missed in the L1. Mutates the memory hierarchy (load accesses
+    /// are performed here).
+    pub(crate) fn multi_cycle_timing(
+        &mut self,
+        seq: u64,
+        op: &DynOp,
+        class: ExecClass,
+        t: u64,
+    ) -> (ExecTiming, bool) {
+        let q = self.quant;
+        let boundary = |l: u64, occupancy: u32| ExecTiming {
+            sel_ready: t + l,
+            avail: q.cycle_start(t + 1 + l),
+            done_cycle: t + 1 + l,
+            occupancy,
+            held_two: false,
+        };
+        match class {
+            ExecClass::IntMul => (boundary(u64::from(self.latencies.int_mul), 1), false),
+            ExecClass::IntDiv => (
+                boundary(u64::from(self.latencies.int_div), self.latencies.int_div),
+                false,
+            ),
+            ExecClass::Fp => {
+                let instr_lat = match op.instr {
+                    Instr::Fp {
+                        op: redsoc_isa::opcode::FpOp::Fdiv,
+                        ..
+                    } => self.latencies.fp_div,
+                    Instr::Fp {
+                        op: redsoc_isa::opcode::FpOp::Fmul,
+                        ..
+                    } => self.latencies.fp_mul,
+                    _ => self.latencies.fp_add,
+                };
+                (boundary(u64::from(instr_lat), 1), false)
+            }
+            ExecClass::SimdMul => (boundary(u64::from(self.latencies.simd_mul), 1), false),
+            ExecClass::Load => {
+                let fwd_ready = {
+                    let x = self.ifo(seq).expect("requesting entry exists");
+                    self.forwarding_store(x).map(|s| s.done_cycle)
+                };
+                if let Some(store_done) = fwd_ready {
+                    // Store-to-load forwarding: 2-cycle effective latency
+                    // once the store's data is in the LSQ.
+                    let ready = store_done.max(t);
+                    let l = (ready - t) + 2;
+                    (boundary(l, 1), false)
+                } else {
+                    let addr = u64::from(op.eff_addr.expect("loads carry addresses"));
+                    let res = self.memory.access(op.pc, addr, false);
+                    let l = 1 + u64::from(res.latency_cycles); // AGU + access
+                    (boundary(l, 1), res.outcome.is_high_latency())
+                }
+            }
+            ExecClass::Store | ExecClass::Branch => (boundary(1, 1), false),
+            ExecClass::IntAlu | ExecClass::SimdAlu => {
+                unreachable!("single-cycle ALU classes are always recyclable")
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Shared pipeline state: the structures every stage borrows.
+//!
+//! [`PipelineState`] owns the in-flight instruction window, the rename
+//! table, the fetch queue, the functional-unit pools, the predictors and
+//! the memory hierarchy. The stage implementations
+//! ([`frontend`](crate::pipeline::frontend), [`issue`](crate::pipeline::issue),
+//! [`exec`](crate::pipeline::exec), [`commit`](crate::pipeline::commit))
+//! are `impl PipelineState` blocks in their own files, so each stage
+//! borrows exactly this one struct and the borrow checker arbitrates.
+
+use std::collections::VecDeque;
+
+use redsoc_isa::opcode::ExecClass;
+use redsoc_isa::reg::{ArchReg, NUM_ARCH_REGS};
+use redsoc_isa::trace::DynOp;
+use redsoc_mem::MemoryHierarchy;
+use redsoc_timing::optime::MultiCycleLatencies;
+use redsoc_timing::pvt::PvtModel;
+use redsoc_timing::slack::{SlackLut, WidthClass};
+use redsoc_timing::width_predictor::WidthPredictor;
+use redsoc_timing::Quant;
+
+use crate::branch::Gshare;
+use crate::config::CoreConfig;
+use crate::fu::{FuPool, PoolKind};
+use crate::stats::SimReport;
+use crate::tag_pred::{LastArrival, TagPredictor};
+
+use super::SimError;
+
+/// Dynamic instruction state while in flight — one reservation-station /
+/// reorder-buffer entry. [`Scheduler`](crate::sched::Scheduler) hooks
+/// receive these entries to make wakeup/select/bypass decisions.
+#[derive(Debug, Clone)]
+pub struct Ifo {
+    /// The traced dynamic operation.
+    pub op: DynOp,
+    /// Execution class resolved at decode.
+    pub class: ExecClass,
+    /// Whether this is a single-cycle op whose data slack is recyclable.
+    pub recyclable: bool,
+    /// Functional-unit pool this op issues to.
+    pub pool: PoolKind,
+    /// Producer tags of all register sources (deduplicated).
+    pub srcs: Vec<u64>,
+    /// Predicted-last-arriving source tag (operational RSE design).
+    pub pred_last: Option<u64>,
+    /// Predicted grandparent tag (the parent's own predicted-last parent).
+    pub gp_tag: Option<u64>,
+    /// When two source operands were unresolved at rename: the predicted
+    /// position (`None` while the predictor is unconfident and conventional
+    /// wakeup is used) plus the positions of the two candidate tags within
+    /// `srcs`.
+    pub pred_pos: Option<(Option<LastArrival>, usize, usize)>,
+    /// Quantised compute time from the slack LUT (recyclable ops only).
+    pub ext_ticks: u64,
+    /// Predicted width at decode (scalar ALU ops).
+    pub pred_width: WidthClass,
+    /// Destination architectural register (for accumulate-chain detection).
+    pub dst_arch: Option<ArchReg>,
+    /// Earliest cycle this entry may request selection.
+    pub earliest_req: u64,
+    /// After a tag mispredict, fall back to all-operands wakeup.
+    pub fallback: bool,
+    /// Whether the op has issued.
+    pub issued: bool,
+    /// Cycle the op was selected for issue.
+    pub issue_cycle: u64,
+    /// First cycle consumers may be selected.
+    pub sel_ready: u64,
+    /// Estimated completion tick (the CI-bus value). Boundary for
+    /// non-recyclable results.
+    pub avail: u64,
+    /// Cycle at which the ROB may retire this op.
+    pub done_cycle: u64,
+    /// Whether evaluation began mid-cycle (recycled slack).
+    pub transparent: bool,
+    /// Whether the evaluation crossed a clock boundary and held its FU for
+    /// two cycles (IT3) — the `SlackHold` stall attribution.
+    pub held_two: bool,
+    /// Length of the transparent chain ending at this op (Fig. 11).
+    pub chain_len: u32,
+    /// Whether a younger op extended this op's transparent chain.
+    pub chain_extended: bool,
+    /// Whether the op has retired.
+    pub committed: bool,
+    /// Whether the op missed in the L1 (loads/stores).
+    pub l1_miss: bool,
+}
+
+/// A fetched op waiting to dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fetched {
+    pub(crate) op: DynOp,
+    pub(crate) ready_cycle: u64,
+}
+
+/// The shared micro-architectural state all pipeline stages operate on.
+///
+/// Stage mechanism lives in `impl PipelineState` blocks under
+/// [`crate::pipeline`]; scheduling policy is delegated to a
+/// [`Scheduler`](crate::sched::Scheduler). External scheduler
+/// implementations observe the state through the documented accessors
+/// ([`PipelineState::cycle`], [`PipelineState::quant`],
+/// [`PipelineState::ifo`], [`PipelineState::src_sel_ready`], …).
+#[derive(Debug)]
+pub struct PipelineState {
+    pub(crate) config: CoreConfig,
+    pub(crate) quant: Quant,
+    /// The design-time slack LUT (worst-case PVT corner).
+    pub(crate) base_lut: SlackLut,
+    /// The active LUT — equal to `base_lut`, or recalibrated against the
+    /// measured PVT guard band each epoch (§V).
+    pub(crate) lut: SlackLut,
+    pub(crate) pvt: PvtModel,
+    pub(crate) latencies: MultiCycleLatencies,
+
+    // Pipeline state.
+    pub(crate) cycle: u64,
+    pub(crate) ifos: VecDeque<Ifo>,
+    pub(crate) base_seq: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) committed_total: u64,
+    pub(crate) dispatched_total: u64,
+    pub(crate) rse_used: u32,
+    pub(crate) lsq_used: u32,
+    pub(crate) rat: [Option<u64>; NUM_ARCH_REGS],
+    pub(crate) fetchq: VecDeque<Fetched>,
+    pub(crate) fetch_stopped: bool,
+    pub(crate) pending_redirect: Option<u64>,
+    pub(crate) fetch_blocked_until: u64,
+
+    // Functional-unit pools.
+    pub(crate) alu: FuPool,
+    pub(crate) simd: FuPool,
+    pub(crate) fp: FuPool,
+    pub(crate) mem_ports: FuPool,
+
+    // Predictors & memory.
+    pub(crate) width_pred: WidthPredictor,
+    pub(crate) tag_pred: TagPredictor,
+    pub(crate) gshare: Gshare,
+    pub(crate) memory: MemoryHierarchy,
+
+    // Statistics.
+    pub(crate) report: SimReport,
+}
+
+impl PipelineState {
+    /// Build the initial state for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the configuration is invalid.
+    pub(crate) fn new(config: CoreConfig) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let quant = config.sched.quant();
+        let memory =
+            MemoryHierarchy::new(config.l1, config.l2, config.mem_latencies, config.prefetch);
+        let pvt = if config.sched.pvt_guard_band {
+            PvtModel::nominal()
+        } else {
+            PvtModel::worst_case()
+        };
+        Ok(PipelineState {
+            quant,
+            base_lut: SlackLut::new(),
+            lut: SlackLut::new(),
+            pvt,
+            latencies: MultiCycleLatencies::default(),
+            cycle: 0,
+            ifos: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            committed_total: 0,
+            dispatched_total: 0,
+            rse_used: 0,
+            lsq_used: 0,
+            rat: [None; NUM_ARCH_REGS],
+            fetchq: VecDeque::new(),
+            fetch_stopped: false,
+            pending_redirect: None,
+            fetch_blocked_until: 0,
+            alu: FuPool::new(config.alu_units),
+            simd: FuPool::new(config.simd_units),
+            fp: FuPool::new(config.fp_units),
+            mem_ports: FuPool::new(config.mem_ports),
+            width_pred: WidthPredictor::new(config.sched.width_predictor_entries, 3),
+            tag_pred: TagPredictor::new(config.sched.tag_predictor_entries),
+            gshare: Gshare::default_config(),
+            memory,
+            report: SimReport::default(),
+            config,
+        })
+    }
+
+    /// The current simulated cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The CI quantiser (ticks-per-cycle arithmetic).
+    #[must_use]
+    pub fn quant(&self) -> Quant {
+        self.quant
+    }
+
+    /// The core configuration this pipeline was built from.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Look up the in-flight entry for `tag`; `None` once it has retired
+    /// out of the window (architecturally ready).
+    #[must_use]
+    pub fn ifo(&self, tag: u64) -> Option<&Ifo> {
+        if tag < self.base_seq {
+            None // retired long ago: architecturally ready
+        } else {
+            self.ifos.get((tag - self.base_seq) as usize)
+        }
+    }
+
+    pub(crate) fn ifo_mut(&mut self, tag: u64) -> Option<&mut Ifo> {
+        if tag < self.base_seq {
+            None
+        } else {
+            self.ifos.get_mut((tag - self.base_seq) as usize)
+        }
+    }
+
+    pub(crate) fn pool_mut(&mut self, kind: PoolKind) -> &mut FuPool {
+        match kind {
+            PoolKind::Alu => &mut self.alu,
+            PoolKind::Simd => &mut self.simd,
+            PoolKind::Fp => &mut self.fp,
+            PoolKind::Mem => &mut self.mem_ports,
+        }
+    }
+
+    pub(crate) fn pool(&self, kind: PoolKind) -> &FuPool {
+        match kind {
+            PoolKind::Alu => &self.alu,
+            PoolKind::Simd => &self.simd,
+            PoolKind::Fp => &self.fp,
+            PoolKind::Mem => &self.mem_ports,
+        }
+    }
+}

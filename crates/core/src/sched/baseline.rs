@@ -1,0 +1,17 @@
+//! The conventional baseline scheduler.
+
+use super::Scheduler;
+
+/// Conventional out-of-order scheduling: all-operands wakeup,
+/// oldest-first select, every single-cycle operation completes at a clock
+/// boundary, no slack is recycled. Every [`Scheduler`] default method *is*
+/// this policy, so the implementation is empty — which is exactly the
+/// point: the baseline is the trait's reference semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineScheduler;
+
+impl Scheduler for BaselineScheduler {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}

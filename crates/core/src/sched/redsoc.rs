@@ -1,0 +1,166 @@
+//! The ReDSOC slack-recycling scheduler (§III–IV).
+
+use redsoc_isa::opcode::ExecClass;
+use redsoc_timing::slack::{SlackBucket, WidthClass};
+use redsoc_timing::width_predictor::WidthOutcome;
+
+use crate::config::SchedulerConfig;
+use crate::pipeline::state::{Ifo, PipelineState};
+
+use super::{ExecTiming, IssueArgs, Scheduler, SelectRequest};
+
+/// Slack-aware scheduling over a transparent-flip-flop bypass network:
+///
+/// - **wakeup** on the predicted-last-arriving tag only (operational RSE
+///   design, §IV-C), with eager grandparent wakeup (§IV-B) raising
+///   speculative requests one dependence level ahead;
+/// - **skewed select** (§IV-D) servicing non-speculative requests first,
+///   so GP-mispeculation recovery is unreachable by construction;
+/// - **transparent bypass** between same-pool recyclable ops: a consumer
+///   begins evaluating at its producer's raw Completion Instant instead of
+///   the next clock boundary;
+/// - **thresholded recycling decision** for speculative grants — the
+///   parent's CI must fall within `threshold_ticks` of the cycle start;
+/// - **CI-resolution completion timing** with width-prediction validation
+///   at execute and two-cycle FU holds for boundary-crossing evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct RedsocScheduler {
+    egpw: bool,
+    skewed: bool,
+    threshold_ticks: u64,
+    width_replay_penalty: u32,
+}
+
+impl RedsocScheduler {
+    /// Capture the ReDSOC policy knobs from a scheduler configuration.
+    #[must_use]
+    pub fn from_config(config: &SchedulerConfig) -> Self {
+        RedsocScheduler {
+            egpw: config.egpw,
+            skewed: config.skewed_select,
+            threshold_ticks: config.threshold_ticks,
+            width_replay_penalty: config.width_replay_penalty,
+        }
+    }
+}
+
+impl Scheduler for RedsocScheduler {
+    fn name(&self) -> &'static str {
+        "redsoc"
+    }
+
+    fn uses_tag_prediction(&self, recyclable: bool) -> bool {
+        recyclable
+    }
+
+    fn wakeup(&self, state: &PipelineState, x: &Ifo) -> Option<SelectRequest> {
+        let cycle = state.cycle();
+        let ready = |t: u64| state.src_sel_ready(t, x).is_some_and(|r| r <= cycle);
+        let use_pred = x.recyclable && !x.fallback;
+        let nonspec = if use_pred {
+            // Operational RSE: wait only for the predicted-last tag.
+            match x.pred_last {
+                None => true,
+                Some(t) => ready(t),
+            }
+        } else {
+            x.srcs.iter().all(|&t| ready(t))
+        };
+        if nonspec {
+            return Some(SelectRequest {
+                seq: x.op.seq,
+                spec: false,
+            });
+        }
+        // Eager grandparent wakeup (§IV-B): speculative request once the
+        // grandparent has broadcast, hoping the parent issues this cycle.
+        if self.egpw && x.recyclable {
+            if let Some(gp) = x.gp_tag {
+                if ready(gp) {
+                    return Some(SelectRequest {
+                        seq: x.op.seq,
+                        spec: true,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn select(&self, requests: &mut [SelectRequest]) {
+        // Skewed selection (§IV-D): non-speculative requests first,
+        // oldest-first within each group. Unskewed: purely oldest-first
+        // (the original GPW behaviour, exposing GP-mispeculation).
+        if self.skewed {
+            requests.sort_by_key(|r| (r.spec, r.seq));
+        } else {
+            requests.sort_by_key(|r| r.seq);
+        }
+    }
+
+    fn skewed_select(&self) -> bool {
+        self.skewed
+    }
+
+    fn transparent_pair(&self, producer: &Ifo, consumer: &Ifo) -> bool {
+        consumer.recyclable && producer.recyclable && producer.pool == consumer.pool
+    }
+
+    fn spec_grant_usable(&self, state: &PipelineState, x: &Ifo, parent: &Ifo, t: u64) -> bool {
+        let q = state.quant();
+        // The recycling decision (§IV-D): the parent must complete within
+        // its own execution cycle, leaving at most `threshold_ticks` of
+        // consumed time — and a non-zero CI, else nothing is recycled.
+        let recycle_ok = parent.recyclable
+            && parent.pool == x.pool
+            && parent.avail < q.cycle_start(t + 2)
+            && q.ci_of(parent.avail) <= self.threshold_ticks
+            && q.ci_of(parent.avail) != 0;
+        // All other operands must be ready in time as well.
+        let others_ok = x
+            .srcs
+            .iter()
+            .all(|&s| s == parent.op.seq || state.src_sel_ready(s, x).is_some_and(|r| r <= t));
+        recycle_ok && others_ok
+    }
+
+    fn on_issue(&self, state: &mut PipelineState, issue: &IssueArgs) -> ExecTiming {
+        let q = state.quant();
+        let t = issue.cycle;
+        let tpc = q.ticks_per_cycle();
+        // Width-prediction validation at execute (§II-B).
+        let mut ext = issue.ext_ticks;
+        let mut replay = 0u64;
+        if issue.class == ExecClass::IntAlu {
+            let actual = WidthClass::from_bits(issue.op.eff_bits);
+            let outcome = state
+                .width_pred
+                .update(issue.op.pc, issue.pred_width, actual);
+            if outcome == WidthOutcome::Aggressive {
+                // Selective reissue: full-width re-execution.
+                let bucket = SlackBucket::classify(&issue.op.instr, WidthClass::W32)
+                    .expect("ALU classifies");
+                ext = q.ps_to_ticks_ceil(state.lut.compute_ps(bucket));
+                replay = u64::from(self.width_replay_penalty) * tpc;
+            }
+        }
+        let completion = issue.start + ext + replay;
+        let crossing = completion > q.cycle_start(t + 2);
+        // A reissued (width-mispredicted) op frees its unit and
+        // re-executes later, so occupancy stays at most the two-cycle
+        // transparent hold.
+        let occ = ((q.ceil_to_cycle(completion).max(q.cycle_start(t + 2)) - q.cycle_start(t + 1))
+            / tpc)
+            .min(2);
+        if crossing {
+            state.report.two_cycle_holds += 1;
+        }
+        ExecTiming {
+            sel_ready: t + 1,
+            avail: completion,
+            done_cycle: q.cycle_of(q.ceil_to_cycle(completion)).max(t + 2),
+            occupancy: occ as u32,
+            held_two: crossing,
+        }
+    }
+}

@@ -21,7 +21,24 @@ use redsoc_isa::trace::DynOp;
 use redsoc_timing::optime::{alu_compute_ps, simd_compute_ps, CYCLE_PS};
 
 use crate::config::{CoreConfig, SchedulerConfig};
-use crate::sim::{simulate, SimError};
+use crate::pipeline::{SimError, Simulator};
+
+use super::Scheduler;
+
+/// The TS scheduling policy: *conventional* wakeup, select and boundary
+/// completion — identical to the baseline — because timing speculation
+/// changes the clock, not the scheduler. All slack exploitation happens
+/// statically in [`run_ts`]: the clock is shortened per application and
+/// fixed-time structures are rescaled, then this scheduler drives the
+/// pipeline exactly as the baseline would.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TsScheduler;
+
+impl Scheduler for TsScheduler {
+    fn name(&self) -> &'static str {
+        "ts"
+    }
+}
 
 /// Result of a timing-speculation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,8 +122,8 @@ pub fn choose_clock(trace: &[DynOp], max_error: f64, min_clock_ps: u32, step_ps:
 pub const TS_MIN_CLOCK_PS: u32 = 450;
 
 /// Run the TS comparator: pick the per-application clock, rescale
-/// fixed-time latencies, simulate, and report wall-clock speedup against
-/// the given baseline cycle count.
+/// fixed-time latencies, simulate under a [`TsScheduler`], and report
+/// wall-clock speedup against the given baseline cycle count.
 ///
 /// # Errors
 ///
@@ -128,7 +145,8 @@ pub fn run_ts(
     ts_config.mem_latencies.l2_cycles = rescale(ts_config.mem_latencies.l2_cycles);
     ts_config.mem_latencies.mem_cycles = rescale(ts_config.mem_latencies.mem_cycles);
 
-    let report = simulate(trace.iter().copied(), ts_config)?;
+    let report =
+        Simulator::with_scheduler(ts_config, Box::new(TsScheduler))?.run(trace.iter().copied())?;
     let base_time = baseline_cycles as f64 * f64::from(CYCLE_PS);
     let ts_time = report.cycles as f64 * f64::from(clock_ps);
     Ok(TsResult {
@@ -143,6 +161,7 @@ pub fn run_ts(
 mod tests {
     use super::*;
     use crate::config::CoreConfig;
+    use crate::pipeline::simulate;
     use redsoc_isa::opcode::AluOp;
     use redsoc_isa::operand::Operand2;
     use redsoc_isa::program::r;
@@ -229,5 +248,19 @@ mod tests {
         );
         // The non-ALU stages cap scaling at the floor.
         assert!(ts.clock_ps >= TS_MIN_CLOCK_PS);
+    }
+
+    #[test]
+    fn ts_scheduler_matches_baseline_exactly() {
+        // TS is the conventional scheduler under a different clock: on the
+        // *same* config the two must be cycle-identical.
+        let t = mixed_trace(2_000, 50);
+        let config = CoreConfig::big();
+        let base = simulate(t.iter().copied(), config.clone()).unwrap();
+        let ts = Simulator::with_scheduler(config, Box::new(TsScheduler))
+            .unwrap()
+            .run(t.iter().copied())
+            .unwrap();
+        assert_eq!(format!("{base:?}"), format!("{ts:?}"));
     }
 }

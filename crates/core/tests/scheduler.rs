@@ -9,7 +9,7 @@
 //! the suite runs green now that every dependency lives in-repo.
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::simulate;
+use redsoc_core::pipeline::simulate;
 use redsoc_isa::instruction::{Instr, LabelId};
 use redsoc_isa::opcode::{AluOp, Cond, MemWidth, SimdOp, SimdType};
 use redsoc_isa::operand::Operand2;

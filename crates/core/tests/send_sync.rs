@@ -5,9 +5,9 @@
 //! names the offending type.
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
-use redsoc_core::sim::{SimError, Simulator};
+use redsoc_core::pipeline::{SimError, Simulator};
+use redsoc_core::sched::ts::TsResult;
 use redsoc_core::stats::SimReport;
-use redsoc_core::ts::TsResult;
 
 fn assert_send<T: Send>() {}
 fn assert_send_sync<T: Send + Sync>() {}

@@ -6,7 +6,7 @@
 //! cargo run --release --example scheduler_shootout -- bzip2
 //! ```
 
-use redsoc::core::ts::run_ts;
+use redsoc::core::sched::ts::run_ts;
 use redsoc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

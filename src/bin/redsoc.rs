@@ -22,7 +22,7 @@ use std::process::ExitCode;
 use redsoc::bench::journal::Journal;
 use redsoc::bench::runner::{canonicalize_sweep, run_grid_supervised, sweep_json, Mode};
 use redsoc::bench::supervisor::{FaultPlan, SupervisorConfig};
-use redsoc::core::ts::run_ts;
+use redsoc::core::sched::ts::run_ts;
 use redsoc::prelude::*;
 
 /// A classified CLI failure: the message goes to stderr, the kind picks
@@ -537,7 +537,9 @@ fn cmd_sweepcmp(args: &[String]) -> CliResult {
     };
     let (da, db) = (load(a)?, load(b)?);
     if da == db {
-        println!("sweeps match after canonicalisation (wall-clock fields ignored)");
+        println!(
+            "sweeps match after canonicalisation (wall-clock and thread-count fields ignored)"
+        );
         Ok(())
     } else {
         // Point at the first differing job row to make mismatches
@@ -574,7 +576,7 @@ fn usage() -> String {
      \x20                          --job-timeout N  per-job cycle budget\n\
      \x20                          --max-retries N  retries for transient failures\n\
      \x20                          --backoff-ms N   retry backoff base)\n\
-     \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock\n\
+     \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock and thread count\n\
      \n\
      flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N\n\
      exit codes: 0 ok, 1 io/mismatch, 2 usage, 3 simulator error, 4 partial sweep"

@@ -16,7 +16,7 @@
 //! - [`core`] — the out-of-order core with Baseline / ReDSOC / TS / MOS
 //!   schedulers (§III–IV, §VI-D);
 //! - [`workloads`] — the sixteen evaluation benchmarks (§V);
-//! - [`bench`] — the parallel experiment engine (shared trace cache,
+//! - [`mod@bench`] — the parallel experiment engine (shared trace cache,
 //!   job grids, machine-readable sweep output).
 //!
 //! ## Quick start
@@ -53,9 +53,10 @@ pub mod prelude {
     pub use redsoc_core::events::{
         ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
     };
-    pub use redsoc_core::sim::{simulate, simulate_events, CancelToken, SimError, Simulator};
+    pub use redsoc_core::pipeline::{simulate, simulate_events, CancelToken, SimError, Simulator};
+    pub use redsoc_core::sched::ts::{run_ts, TsResult};
+    pub use redsoc_core::sched::{build_scheduler, Scheduler, SelectRequest};
     pub use redsoc_core::stats::{OpCategory, SimReport, StallBreakdown, StallCause};
-    pub use redsoc_core::ts::{run_ts, TsResult};
     pub use redsoc_isa::prelude::*;
     pub use redsoc_timing::slack::{SlackBucket, SlackLut, WidthClass};
     pub use redsoc_workloads::{BenchClass, Benchmark};

@@ -9,7 +9,7 @@
 //! by in-repo crates the simulated numbers are unchanged and every
 //! assertion passes as written.
 
-use redsoc::core::ts::run_ts;
+use redsoc::core::sched::ts::run_ts;
 use redsoc::prelude::*;
 
 const LEN: u64 = 30_000;

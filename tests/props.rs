@@ -211,6 +211,58 @@ proptest! {
         }
     }
 
+    /// Skewed selection (§IV-D) never grants a grandparent-speculative
+    /// request while a non-speculative request is pending in the same
+    /// pool and cycle. Selection is per-pool, so the observable form is:
+    /// within every (cycle, pool) group of select grants in the event
+    /// stream, all non-speculative grants precede the first speculative
+    /// one — and GP-mispeculation recovery is therefore unreachable.
+    #[test]
+    fn skewed_select_never_starves_nonspec_requests(p in arb_program(80)) {
+        use redsoc::core::fu::PoolKind;
+        use std::collections::HashMap;
+        let trace: Vec<DynOp> = Interpreter::new(&p).collect();
+        let mut sink = VecSink::new();
+        let rep = simulate_events(
+            trace.into_iter(),
+            CoreConfig::big().with_sched(SchedulerConfig::redsoc()),
+            &mut sink,
+        ).expect("redsoc simulates");
+
+        let mut pool_of: HashMap<u64, PoolKind> = HashMap::new();
+        let mut spec_granted: HashMap<(u64, PoolKind), u64> = HashMap::new();
+        for (cycle, ev) in &sink.events {
+            match ev {
+                PipeEvent::Dispatch { seq, pool, .. } => {
+                    pool_of.insert(*seq, *pool);
+                }
+                PipeEvent::SelectGrant { seq, spec } => {
+                    let pool = pool_of[seq];
+                    if *spec {
+                        *spec_granted.entry((*cycle, pool)).or_insert(0) += 1;
+                    } else {
+                        let jumped = spec_granted.get(&(*cycle, pool)).copied().unwrap_or(0);
+                        prop_assert_eq!(
+                            jumped, 0,
+                            "cycle {}: {} speculative grant(s) in pool {:?} jumped ahead of \
+                             pending non-speculative seq {}",
+                            cycle, jumped, pool, seq
+                        );
+                    }
+                }
+                PipeEvent::GpMispeculation { seq, .. } => {
+                    prop_assert!(
+                        false,
+                        "GP mispeculation for seq {} must be unreachable under skewed selection",
+                        seq
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(rep.gp_mispeculations, 0);
+    }
+
     /// FU-hold accounting: a two-cycle transparent hold is only recorded
     /// for an op that issued transparently (was recycled), recycled ops
     /// are a subset of commits, and the FU-stall counter advances at most
