@@ -29,18 +29,40 @@ pub struct RedsocScheduler {
     skewed: bool,
     threshold_ticks: u64,
     width_replay_penalty: u32,
+    invert_select: bool,
 }
 
 impl RedsocScheduler {
     /// Capture the ReDSOC policy knobs from a scheduler configuration.
+    ///
+    /// Setting the `REDSOC_TEST_INVERT_SKEW=1` environment variable plants
+    /// the [`Self::with_inverted_skew`] fault here, so the differential
+    /// fuzzing harness can demonstrate end-to-end bug detection against
+    /// the released binary without a special build.
     #[must_use]
     pub fn from_config(config: &SchedulerConfig) -> Self {
+        let invert = std::env::var_os("REDSOC_TEST_INVERT_SKEW").is_some_and(|v| v == "1");
         RedsocScheduler {
             egpw: config.egpw,
             skewed: config.skewed_select,
             threshold_ticks: config.threshold_ticks,
             width_replay_penalty: config.width_replay_penalty,
+            invert_select: invert,
         }
+    }
+
+    /// Test-only fault injection: invert the skewed-selection priority so
+    /// grandparent-speculative requests are serviced *ahead of*
+    /// non-speculative ones — exactly the ordering bug §IV-D's skew
+    /// exists to prevent. The scheduler also stops advertising
+    /// [`Scheduler::skewed_select`], since the guarantee no longer holds;
+    /// GP-mispeculation recovery becomes reachable and the verification
+    /// oracle must flag the run. Not part of the public API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_inverted_skew(mut self) -> Self {
+        self.invert_select = true;
+        self
     }
 }
 
@@ -91,7 +113,10 @@ impl Scheduler for RedsocScheduler {
         // Skewed selection (§IV-D): non-speculative requests first,
         // oldest-first within each group. Unskewed: purely oldest-first
         // (the original GPW behaviour, exposing GP-mispeculation).
-        if self.skewed {
+        if self.invert_select {
+            // Injected fault: speculative-first, the ordering skew forbids.
+            requests.sort_by_key(|r| (core::cmp::Reverse(r.spec), r.seq));
+        } else if self.skewed {
             requests.sort_by_key(|r| (r.spec, r.seq));
         } else {
             requests.sort_by_key(|r| r.seq);
@@ -99,7 +124,10 @@ impl Scheduler for RedsocScheduler {
     }
 
     fn skewed_select(&self) -> bool {
-        self.skewed
+        // The inverted-skew fault breaks the no-overtake guarantee, so the
+        // pipeline must not be told it holds (GP-mispeculation recovery
+        // has to stay armed for the run to remain well-defined).
+        self.skewed && !self.invert_select
     }
 
     fn transparent_pair(&self, producer: &Ifo, consumer: &Ifo) -> bool {

@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! ; comments run to end of line
+//! .mem   65536           ; optional: shrink the flat memory (bytes)
 //! .zero  buf 64          ; 64 zeroed bytes, symbol `buf`
 //! .words tbl 1 2 0xFF    ; little-endian 32-bit words, symbol `tbl`
 //!
@@ -17,7 +18,8 @@
 //! loop:
 //!         ldr   r2, [r0, #4]      ; offset optional
 //!         add   r2, r2, r3, lsr #3
-//!         adds  r2, r2, #1        ; `s` suffix sets flags
+//!         adds  r2, r2, #1        ; `s` suffix sets flags (any data op)
+//!         rrx   r2, r2            ; rotate right through carry
 //!         str   r2, [r0]
 //!         vadd.i16 v0, v1, v2     ; SIMD with lane type
 //!         vdup.i8  v3, #5
@@ -99,6 +101,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             asm.directive_zero(rest, ln + 1)?;
         } else if let Some(rest) = line.strip_prefix(".words") {
             asm.directive_words(rest, ln + 1)?;
+        } else if let Some(rest) = line.strip_prefix(".mem") {
+            asm.directive_mem(rest, ln + 1)?;
         }
     }
 
@@ -193,6 +197,19 @@ impl Assembler {
         let id = self.builder.new_label();
         self.labels.insert(name.to_string(), id);
         id
+    }
+
+    fn directive_mem(&mut self, rest: &str, ln: usize) -> Result<(), AsmError> {
+        let mut it = rest.split_whitespace();
+        let bytes = parse_u32(
+            it.next().ok_or_else(|| err(ln, ".mem needs a byte size"))?,
+            ln,
+        )?;
+        if it.next().is_some() {
+            return Err(err(ln, ".mem takes exactly one value"));
+        }
+        self.builder.mem_size(bytes);
+        Ok(())
     }
 
     fn directive_zero(&mut self, rest: &str, ln: usize) -> Result<(), AsmError> {
@@ -379,25 +396,58 @@ impl Assembler {
             "sub" => alu3(AluOp::Sub, false, self),
             "subs" => alu3(AluOp::Sub, true, self),
             "rsb" => alu3(AluOp::Rsb, false, self),
+            "rsbs" => alu3(AluOp::Rsb, true, self),
             "adc" => alu3(AluOp::Adc, false, self),
+            "adcs" => alu3(AluOp::Adc, true, self),
             "sbc" => alu3(AluOp::Sbc, false, self),
+            "sbcs" => alu3(AluOp::Sbc, true, self),
             "rsc" => alu3(AluOp::Rsc, false, self),
+            "rscs" => alu3(AluOp::Rsc, true, self),
             "and" => alu3(AluOp::And, false, self),
             "ands" => alu3(AluOp::And, true, self),
             "orr" => alu3(AluOp::Orr, false, self),
+            "orrs" => alu3(AluOp::Orr, true, self),
             "eor" => alu3(AluOp::Eor, false, self),
+            "eors" => alu3(AluOp::Eor, true, self),
             "bic" => alu3(AluOp::Bic, false, self),
+            "bics" => alu3(AluOp::Bic, true, self),
             "lsl" => alu3(AluOp::Lsl, false, self),
+            "lsls" => alu3(AluOp::Lsl, true, self),
             "lsr" => alu3(AluOp::Lsr, false, self),
+            "lsrs" => alu3(AluOp::Lsr, true, self),
             "asr" => alu3(AluOp::Asr, false, self),
+            "asrs" => alu3(AluOp::Asr, true, self),
             "ror" => alu3(AluOp::Ror, false, self),
-            "mov" | "mvn" => {
+            "rors" => alu3(AluOp::Ror, true, self),
+            "rrx" | "rrxs" => {
+                // Canonical two-operand form (`rrx rd, rn` — the rotate
+                // count is implicitly 1) or an explicit third operand.
+                if ops.len() < 2 {
+                    return Err(err(ln, format!("{mnemonic} needs dst, src1")));
+                }
+                let dst = self.reg(ops[0], ln)?;
+                let src1 = self.reg(ops[1], ln)?;
+                let op2 = if ops.len() == 2 {
+                    Operand2::Imm(1)
+                } else {
+                    self.operand2(&ops[2..], ln)?
+                };
+                self.builder.push(Instr::Alu {
+                    op: AluOp::Rrx,
+                    dst: Some(dst),
+                    src1: Some(src1),
+                    op2,
+                    set_flags: mnemonic == "rrxs",
+                });
+                Ok(())
+            }
+            "mov" | "movs" | "mvn" | "mvns" => {
                 if ops.len() < 2 {
                     return Err(err(ln, format!("{mnemonic} needs dst, op2")));
                 }
                 let dst = self.reg(ops[0], ln)?;
                 let op2 = self.operand2(&ops[1..], ln)?;
-                let op = if mnemonic == "mov" {
+                let op = if mnemonic.starts_with("mov") {
                     AluOp::Mov
                 } else {
                     AluOp::Mvn
@@ -407,7 +457,7 @@ impl Assembler {
                     dst: Some(dst),
                     src1: None,
                     op2,
-                    set_flags: false,
+                    set_flags: mnemonic.ends_with('s'),
                 });
                 Ok(())
             }
@@ -727,6 +777,61 @@ mod tests {
     #[test]
     fn missing_halt_rejected() {
         assert!(assemble("mov r0, #1\n").is_err());
+    }
+
+    #[test]
+    fn flag_setting_variants_and_rrx() {
+        // 0b101 rotated right through carry (carry clear): 0b10, C := 1;
+        // a second RRX pulls that carry into bit 31.
+        let src = "
+                movs r0, #5
+                rrxs r1, r0
+                rrx  r2, r1
+                eors r3, r1, r1
+                halt
+        ";
+        let p = assemble(src).expect("assembles");
+        let mut i = Interpreter::new(&p);
+        while i.step().is_some() {}
+        assert_eq!(i.reg(r(1)), 2);
+        assert_eq!(i.reg(r(2)), 0x8000_0001);
+        assert_eq!(i.reg(r(3)), 0, "eors computes and sets Z");
+        for (mn, op) in [
+            ("rsbs", AluOp::Rsb),
+            ("adcs", AluOp::Adc),
+            ("sbcs", AluOp::Sbc),
+            ("rscs", AluOp::Rsc),
+            ("orrs", AluOp::Orr),
+            ("bics", AluOp::Bic),
+            ("lsls", AluOp::Lsl),
+            ("lsrs", AluOp::Lsr),
+            ("asrs", AluOp::Asr),
+            ("rors", AluOp::Ror),
+            ("mvns", AluOp::Mvn),
+        ] {
+            let p = assemble(&format!("{mn} r0, r1, #3\nhalt")).or_else(|_| {
+                // Two-operand forms (mvns) take dst, op2 only.
+                assemble(&format!("{mn} r0, #3\nhalt"))
+            });
+            let p = p.unwrap_or_else(|e| panic!("{mn} must assemble: {e}"));
+            match p.instrs()[0] {
+                Instr::Alu {
+                    op: got, set_flags, ..
+                } => {
+                    assert_eq!(got, op, "{mn}");
+                    assert!(set_flags, "{mn} must set flags");
+                }
+                ref other => panic!("{mn} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mem_directive_sets_memory_size() {
+        let p = assemble(".mem 65536\nmov r0, #1\nhalt").expect("assembles");
+        assert_eq!(p.mem_size(), 65536);
+        assert!(assemble(".mem\nhalt").is_err());
+        assert!(assemble(".mem 1 2\nhalt").is_err());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod disasm;
 pub mod instruction;
 pub mod interp;
 pub mod opcode;

@@ -1,0 +1,550 @@
+//! The lockstep differential oracle.
+//!
+//! Every candidate program is executed five ways — once architecturally
+//! through the functional interpreter and once through the full
+//! out-of-order pipeline under each scheduling policy — and the runs are
+//! compared:
+//!
+//! - the **committed instruction stream** (`Commit` events: sequence
+//!   number and PC, in retirement order) of every pipeline run must equal
+//!   the interpreter's dynamic trace exactly;
+//! - the **final architectural state** (all 65 registers plus memory) is
+//!   recomputed by replaying exactly the committed instruction count
+//!   through a fresh interpreter and must match the reference digest for
+//!   every run;
+//! - per-run **timing invariants** must hold: non-zero cycle count, the
+//!   stall-attribution partition summing to the cycle count, in-order
+//!   commit, skewed-select ordering (no grandparent-speculative grant
+//!   ahead of a non-speculative one within a cycle and pool) and
+//!   completion-instant monotonicity along register dependence chains.
+//!
+//! The skew and GP-mispeculation checks are driven by what the oracle
+//! *requested* (`skewed_select` in the core configuration), not by what
+//! the scheduler claims — that is how the intentionally sabotaged
+//! scheduler ([`RedsocScheduler::with_inverted_skew`]) is caught.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use redsoc_core::events::{PipeEvent, VecSink};
+use redsoc_core::fu::PoolKind;
+use redsoc_core::sched::redsoc::RedsocScheduler;
+use redsoc_core::sched::ts::TsScheduler;
+use redsoc_core::{CoreConfig, SchedulerConfig, SimReport, Simulator};
+use redsoc_isa::interp::Interpreter;
+use redsoc_isa::prelude::*;
+use redsoc_isa::reg::NUM_ARCH_REGS;
+
+/// Which scheduling policy a pipeline run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Conventional out-of-order scheduling.
+    Baseline,
+    /// ReDSOC slack recycling.
+    Redsoc,
+    /// MOS dynamic operation fusion.
+    Mos,
+    /// Timing-speculation comparator (baseline mechanism, scaled clock).
+    Ts,
+}
+
+impl SchedKind {
+    /// All four policies, in canonical order.
+    pub const ALL: [SchedKind; 4] = [
+        SchedKind::Baseline,
+        SchedKind::Redsoc,
+        SchedKind::Mos,
+        SchedKind::Ts,
+    ];
+
+    /// Stable lower-case name (CLI `--schedulers` vocabulary).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedKind::Baseline => "baseline",
+            SchedKind::Redsoc => "redsoc",
+            SchedKind::Mos => "mos",
+            SchedKind::Ts => "ts",
+        }
+    }
+
+    /// Parse a `--schedulers` item.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        SchedKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// The scheduler configuration this policy runs under.
+    #[must_use]
+    fn sched_config(self) -> SchedulerConfig {
+        match self {
+            // TS uses the baseline mechanism; clock rescaling is a
+            // wall-time transform and does not affect correctness.
+            SchedKind::Baseline | SchedKind::Ts => SchedulerConfig::baseline(),
+            SchedKind::Redsoc => SchedulerConfig::redsoc(),
+            SchedKind::Mos => SchedulerConfig::mos(),
+        }
+    }
+}
+
+impl fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What the oracle runs and checks.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// The core the pipeline runs model (scheduler field is overridden
+    /// per run).
+    pub core: CoreConfig,
+    /// Policies to run the program under.
+    pub scheds: Vec<SchedKind>,
+    /// Dynamic instruction budget for the interpreter (loops are bounded
+    /// by construction; this is a second line of defence).
+    pub max_dyn_ops: u64,
+    /// Inject the inverted-skew fault into the ReDSOC run (acceptance
+    /// testing of the harness itself).
+    pub sabotage_redsoc: bool,
+}
+
+impl OracleConfig {
+    /// All four schedulers on the given core, no sabotage.
+    #[must_use]
+    pub fn new(core: CoreConfig) -> Self {
+        OracleConfig {
+            core,
+            scheds: SchedKind::ALL.to_vec(),
+            max_dyn_ops: 4096,
+            sabotage_redsoc: false,
+        }
+    }
+}
+
+/// A detected divergence between executions (or a violated invariant
+/// within one). The harness treats any of these as a bug to shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The interpreter faulted — a generator/shrinker bug, reported as a
+    /// first-class failure rather than skipped.
+    ExecFault {
+        /// Interpreter error description.
+        error: String,
+    },
+    /// A pipeline run failed (deadlock or configuration rejection).
+    SimFailed {
+        /// The policy that failed.
+        sched: SchedKind,
+        /// Simulator error description.
+        error: String,
+    },
+    /// The committed stream differs from the architectural trace.
+    CommitMismatch {
+        /// The diverging policy.
+        sched: SchedKind,
+        /// Index into the commit stream of the first difference.
+        index: usize,
+        /// Expected `(seq, pc)` from the interpreter trace, if any.
+        expected: Option<(u64, u32)>,
+        /// Observed `(seq, pc)` from the pipeline, if any.
+        got: Option<(u64, u32)>,
+    },
+    /// Final architectural state digest differs from the reference.
+    StateMismatch {
+        /// The diverging policy.
+        sched: SchedKind,
+        /// Reference digest from the primary interpreter run.
+        expected: u64,
+        /// Digest after replaying the run's committed instruction count.
+        got: u64,
+    },
+    /// A timing invariant failed.
+    TimingViolation {
+        /// The offending policy.
+        sched: SchedKind,
+        /// Which invariant, with the observed values.
+        detail: String,
+    },
+}
+
+impl Divergence {
+    /// The policy this divergence blames, if any.
+    #[must_use]
+    pub fn sched(&self) -> Option<SchedKind> {
+        match self {
+            Divergence::ExecFault { .. } => None,
+            Divergence::SimFailed { sched, .. }
+            | Divergence::CommitMismatch { sched, .. }
+            | Divergence::StateMismatch { sched, .. }
+            | Divergence::TimingViolation { sched, .. } => Some(*sched),
+        }
+    }
+
+    /// Whether `other` is the same *class* of failure: same variant,
+    /// blaming the same policy. The shrinker pins candidates to the
+    /// original divergence's class so that an edit which introduces an
+    /// unrelated failure (say, deleting a divide guard and faulting the
+    /// interpreter) is not mistaken for a smaller repro.
+    #[must_use]
+    pub fn same_class(&self, other: &Divergence) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+            && self.sched() == other.sched()
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::ExecFault { error } => write!(f, "interpreter fault: {error}"),
+            Divergence::SimFailed { sched, error } => {
+                write!(f, "[{sched}] simulation failed: {error}")
+            }
+            Divergence::CommitMismatch {
+                sched,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "[{sched}] commit stream diverges at #{index}: expected {expected:?}, got {got:?}"
+            ),
+            Divergence::StateMismatch {
+                sched,
+                expected,
+                got,
+            } => write!(
+                f,
+                "[{sched}] architectural state digest {got:#018x} != reference {expected:#018x}"
+            ),
+            Divergence::TimingViolation { sched, detail } => {
+                write!(f, "[{sched}] timing invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+/// Summary of a clean (non-diverging) case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOk {
+    /// Dynamic instructions executed.
+    pub dyn_ops: u64,
+    /// `(policy, cycles)` for each pipeline run.
+    pub cycles: Vec<(SchedKind, u64)>,
+}
+
+/// FNV-1a digest of the full architectural state: all registers in index
+/// order, then memory.
+fn state_digest(interp: &Interpreter, mem_size: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for i in 0..NUM_ARCH_REGS {
+        let reg = ArchReg::from_index(i).expect("index below NUM_ARCH_REGS");
+        eat(&interp.reg(reg).to_le_bytes());
+    }
+    eat(interp.mem(0, mem_size));
+    h
+}
+
+/// Events gathered from one pipeline run, reduced to what the checks
+/// need.
+struct RunView {
+    report: SimReport,
+    commits: Vec<(u64, u32)>,
+    /// `seq → pool`, from dispatch events.
+    pools: HashMap<u64, PoolKind>,
+    /// `(cycle, seq, spec)` select grants, in emission order.
+    grants: Vec<(u64, u64, bool)>,
+    /// `seq → (first, last)` CI-broadcast ticks.
+    broadcasts: HashMap<u64, (u64, u64)>,
+    /// Sequence numbers that took a tag-misprediction fallback.
+    tag_misses: Vec<u64>,
+}
+
+fn run_one(kind: SchedKind, trace: &[DynOp], cfg: &OracleConfig) -> Result<RunView, Divergence> {
+    let core = cfg.core.clone().with_sched(kind.sched_config());
+    let mut sink = VecSink::new();
+    let sim = match kind {
+        SchedKind::Ts => Simulator::with_scheduler(core, Box::new(TsScheduler)),
+        SchedKind::Redsoc if cfg.sabotage_redsoc => {
+            let sched = RedsocScheduler::from_config(&core.sched).with_inverted_skew();
+            Simulator::with_scheduler(core, Box::new(sched))
+        }
+        _ => Simulator::new(core),
+    };
+    let report = sim
+        .and_then(|s| s.run_events(trace.iter().copied(), &mut sink))
+        .map_err(|e| Divergence::SimFailed {
+            sched: kind,
+            error: e.to_string(),
+        })?;
+    let mut view = RunView {
+        report,
+        commits: Vec::new(),
+        pools: HashMap::new(),
+        grants: Vec::new(),
+        broadcasts: HashMap::new(),
+        tag_misses: Vec::new(),
+    };
+    for (cycle, ev) in &sink.events {
+        match *ev {
+            PipeEvent::Commit { seq, pc } => view.commits.push((seq, pc)),
+            PipeEvent::Dispatch { seq, pool, .. } => {
+                view.pools.insert(seq, pool);
+            }
+            PipeEvent::SelectGrant { seq, spec } => view.grants.push((*cycle, seq, spec)),
+            PipeEvent::CiBroadcast { seq, avail_tick } => {
+                view.broadcasts
+                    .entry(seq)
+                    .and_modify(|(_, last)| *last = avail_tick)
+                    .or_insert((avail_tick, avail_tick));
+            }
+            PipeEvent::TagMispredict { seq, .. } => view.tag_misses.push(seq),
+            _ => {}
+        }
+    }
+    Ok(view)
+}
+
+/// Check one invariant family: skewed-select ordering. Within a cycle
+/// and functional-unit pool, a grandparent-speculative grant must never
+/// precede a non-speculative one.
+fn check_skew(kind: SchedKind, view: &RunView) -> Result<(), Divergence> {
+    let mut i = 0;
+    while i < view.grants.len() {
+        let cycle = view.grants[i].0;
+        let mut j = i;
+        while j < view.grants.len() && view.grants[j].0 == cycle {
+            j += 1;
+        }
+        // Per-pool: track whether a speculative grant has been seen.
+        let mut spec_seen: HashMap<PoolKind, u64> = HashMap::new();
+        for &(_, seq, spec) in &view.grants[i..j] {
+            let Some(&pool) = view.pools.get(&seq) else {
+                continue;
+            };
+            if spec {
+                spec_seen.entry(pool).or_insert(seq);
+            } else if let Some(&first_spec) = spec_seen.get(&pool) {
+                return Err(Divergence::TimingViolation {
+                    sched: kind,
+                    detail: format!(
+                        "cycle {cycle}: speculative grant #{first_spec} serviced before \
+                         non-speculative #{seq} in pool {pool:?} despite skewed select"
+                    ),
+                });
+            }
+        }
+        i = j;
+    }
+    Ok(())
+}
+
+/// Completion-instant monotonicity along register dependence chains: a
+/// consumer's CI broadcast cannot precede the broadcast of the producer
+/// whose value it reads. Pairs where the producer re-broadcast (width
+/// replay) or either side took a tag-misprediction fallback are skipped —
+/// replays legitimately reorder those.
+fn check_ci_monotone(kind: SchedKind, trace: &[DynOp], view: &RunView) -> Result<(), Divergence> {
+    let mut last_writer: HashMap<usize, u64> = HashMap::new();
+    for op in trace {
+        for src in op.instr.srcs().iter() {
+            let Some(&producer) = last_writer.get(&src.index()) else {
+                continue;
+            };
+            let (Some(&(p_first, p_last)), Some(&(_, c_last))) =
+                (view.broadcasts.get(&producer), view.broadcasts.get(&op.seq))
+            else {
+                continue;
+            };
+            let replayed = p_first != p_last
+                || view.tag_misses.contains(&producer)
+                || view.tag_misses.contains(&op.seq);
+            if !replayed && c_last < p_first {
+                return Err(Divergence::TimingViolation {
+                    sched: kind,
+                    detail: format!(
+                        "CI non-monotone: consumer #{} broadcast at tick {c_last} before \
+                         producer #{producer} at tick {p_first}",
+                        op.seq
+                    ),
+                });
+            }
+        }
+        if let Some(d) = op.instr.dst() {
+            last_writer.insert(d.index(), op.seq);
+        }
+        if op.instr.writes_flags() {
+            last_writer.insert(ArchReg::flags().index(), op.seq);
+        }
+    }
+    Ok(())
+}
+
+/// Run `program` through the interpreter and through the pipeline under
+/// every configured policy, comparing all executions.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_program(program: &Program, cfg: &OracleConfig) -> Result<CaseOk, Divergence> {
+    // Reference execution: the functional interpreter.
+    let mut interp = Interpreter::new(program);
+    let trace = interp
+        .run(cfg.max_dyn_ops)
+        .map_err(|e| Divergence::ExecFault {
+            error: e.to_string(),
+        })?;
+    let trace: Vec<DynOp> = trace.into_iter().collect();
+    let reference = state_digest(&interp, program.mem_size());
+
+    let mut cycles = Vec::new();
+    for &kind in &cfg.scheds {
+        let view = run_one(kind, &trace, cfg)?;
+
+        // 1. Committed stream == architectural trace, element for element.
+        let n = trace.len().max(view.commits.len());
+        for i in 0..n {
+            let expected = trace.get(i).map(|op| (op.seq, op.pc));
+            let got = view.commits.get(i).copied();
+            if expected != got {
+                return Err(Divergence::CommitMismatch {
+                    sched: kind,
+                    index: i,
+                    expected,
+                    got,
+                });
+            }
+        }
+
+        // 2. Final architectural state: replay exactly the committed
+        // count through a fresh interpreter and compare digests.
+        let mut replay = Interpreter::new(program);
+        replay
+            .run(view.commits.len() as u64)
+            .map_err(|e| Divergence::ExecFault {
+                error: format!("replay fault: {e}"),
+            })?;
+        let got = state_digest(&replay, program.mem_size());
+        if got != reference {
+            return Err(Divergence::StateMismatch {
+                sched: kind,
+                expected: reference,
+                got,
+            });
+        }
+
+        // 3. Timing invariants.
+        let rep = &view.report;
+        if rep.cycles == 0 {
+            return Err(Divergence::TimingViolation {
+                sched: kind,
+                detail: "zero cycles".into(),
+            });
+        }
+        if rep.stalls.total() != rep.cycles {
+            return Err(Divergence::TimingViolation {
+                sched: kind,
+                detail: format!(
+                    "stall partition {} != cycles {}",
+                    rep.stalls.total(),
+                    rep.cycles
+                ),
+            });
+        }
+        if rep.committed != trace.len() as u64 {
+            return Err(Divergence::TimingViolation {
+                sched: kind,
+                detail: format!("committed {} != trace {}", rep.committed, trace.len()),
+            });
+        }
+        if !view
+            .commits
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c.0 == i as u64)
+        {
+            return Err(Divergence::TimingViolation {
+                sched: kind,
+                detail: "commit sequence numbers not in program order".into(),
+            });
+        }
+        // Skew-dependent invariants are driven by what the oracle
+        // *requested* — a sabotaged scheduler is held to the contract.
+        if kind == SchedKind::Redsoc && cfg.core.sched.skewed_select {
+            if rep.gp_mispeculations != 0 {
+                return Err(Divergence::TimingViolation {
+                    sched: kind,
+                    detail: format!(
+                        "{} GP mispeculations despite skewed select",
+                        rep.gp_mispeculations
+                    ),
+                });
+            }
+            check_skew(kind, &view)?;
+        }
+        check_ci_monotone(kind, &trace, &view)?;
+
+        cycles.push((kind, rep.cycles));
+    }
+    Ok(CaseOk {
+        dyn_ops: trace.len() as u64,
+        cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.mov_imm(r(0), 40);
+        b.mov_imm(r(1), 1);
+        b.bind(top);
+        b.add(r(1), r(1), op_reg(r(1)));
+        b.eor(r(1), r(1), op_imm(0x3C));
+        b.subs(r(0), r(0), op_imm(1));
+        b.bne(top);
+        b.halt();
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn clean_program_passes_all_schedulers() {
+        let cfg = OracleConfig::new(CoreConfig::big());
+        let ok = check_program(&chain_program(), &cfg).expect("no divergence");
+        assert_eq!(ok.cycles.len(), 4);
+        assert!(ok.dyn_ops > 100);
+        for (kind, cycles) in &ok.cycles {
+            assert!(*cycles > 0, "{kind} must take cycles");
+        }
+    }
+
+    #[test]
+    fn sabotaged_scheduler_is_caught() {
+        let mut cfg = OracleConfig::new(CoreConfig::big());
+        cfg.sabotage_redsoc = true;
+        let err = check_program(&chain_program(), &cfg).expect_err("inverted skew must be flagged");
+        match &err {
+            Divergence::TimingViolation { sched, .. } => {
+                assert_eq!(*sched, SchedKind::Redsoc, "wrong policy blamed: {err}");
+            }
+            other => panic!("expected a timing violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sched_kind_round_trips_labels() {
+        for k in SchedKind::ALL {
+            assert_eq!(SchedKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(SchedKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! Automatic repro shrinking.
+//!
+//! Given a diverging [`FuzzProgram`], the shrinker searches for a smaller
+//! program that still diverges, alternating two passes to a fixed point:
+//!
+//! 1. **delta-debugging deletion** — remove chunks of instructions,
+//!    halving the chunk size down to single instructions (classic ddmin);
+//! 2. **operand simplification** — per instruction, try replacing it with
+//!    a simpler form: shifted operands become plain registers, register
+//!    operands become immediates, immediates and memory offsets halve
+//!    toward zero, flag-setting is dropped.
+//!
+//! Every candidate edit keeps the program lowerable by construction
+//! ([`FuzzProgram::build`] binds orphaned labels to the exit), so the
+//! predicate is the only validity check needed. The pass loop is capped
+//! to keep worst-case shrink time bounded.
+
+use redsoc_isa::instruction::Instr;
+use redsoc_isa::operand::Operand2;
+
+use crate::gen::{FuzzProgram, Item};
+
+/// Upper bound on delete+simplify rounds (each round is itself a fixed
+/// point of deletions, so this rarely binds).
+const MAX_ROUNDS: usize = 8;
+
+/// Simpler variants of one instruction, most aggressive first.
+fn simplify_instr(instr: &Instr) -> Vec<Instr> {
+    let mut out = Vec::new();
+    match *instr {
+        Instr::Alu {
+            op,
+            dst,
+            src1,
+            op2,
+            set_flags,
+        } => {
+            match op2 {
+                Operand2::ShiftedReg { reg, .. } => {
+                    out.push(Instr::Alu {
+                        op,
+                        dst,
+                        src1,
+                        op2: Operand2::Reg(reg),
+                        set_flags,
+                    });
+                    out.push(Instr::Alu {
+                        op,
+                        dst,
+                        src1,
+                        op2: Operand2::Imm(0),
+                        set_flags,
+                    });
+                }
+                Operand2::Reg(_) => out.push(Instr::Alu {
+                    op,
+                    dst,
+                    src1,
+                    op2: Operand2::Imm(0),
+                    set_flags,
+                }),
+                Operand2::Imm(v) if v != 0 => out.push(Instr::Alu {
+                    op,
+                    dst,
+                    src1,
+                    op2: Operand2::Imm(v / 2),
+                    set_flags,
+                }),
+                Operand2::Imm(_) => {}
+            }
+            if set_flags {
+                out.push(Instr::Alu {
+                    op,
+                    dst,
+                    src1,
+                    op2,
+                    set_flags: false,
+                });
+            }
+        }
+        Instr::Load {
+            dst,
+            base,
+            offset,
+            width,
+        } if offset != 0 => out.push(Instr::Load {
+            dst,
+            base,
+            offset: offset / 2,
+            width,
+        }),
+        Instr::Store {
+            src,
+            base,
+            offset,
+            width,
+        } if offset != 0 => out.push(Instr::Store {
+            src,
+            base,
+            offset: offset / 2,
+            width,
+        }),
+        Instr::Simd {
+            op,
+            ty,
+            dst,
+            src1,
+            src2,
+            imm,
+        } if imm > 1 => out.push(Instr::Simd {
+            op,
+            ty,
+            dst,
+            src1,
+            src2,
+            imm: imm / 2,
+        }),
+        _ => {}
+    }
+    out
+}
+
+/// ddmin chunk deletion: repeatedly try removing runs of [`Item::Op`]
+/// entries, halving the chunk size, until no single deletion reproduces.
+fn delete_pass<F: FnMut(&FuzzProgram) -> bool>(p: &mut FuzzProgram, diverges: &mut F) -> bool {
+    let mut changed = false;
+    let mut chunk = (p.op_count() / 2).max(1);
+    loop {
+        let mut progress = false;
+        // Positions of Op items in the current item list.
+        let ops: Vec<usize> = p
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, it)| matches!(it, Item::Op(_)).then_some(i))
+            .collect();
+        let mut start = 0usize;
+        while start < ops.len() {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate = p.clone();
+            // Delete back to front so earlier indices stay valid.
+            for &idx in ops[start..end].iter().rev() {
+                candidate.items.remove(idx);
+            }
+            if diverges(&candidate) {
+                *p = candidate;
+                changed = true;
+                progress = true;
+                break; // item positions moved; recompute
+            }
+            start = end;
+        }
+        if progress {
+            continue;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    changed
+}
+
+/// One sweep of per-instruction simplification.
+fn simplify_pass<F: FnMut(&FuzzProgram) -> bool>(p: &mut FuzzProgram, diverges: &mut F) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < p.items.len() {
+        if let Item::Op(instr) = p.items[i] {
+            for simpler in simplify_instr(&instr) {
+                let mut candidate = p.clone();
+                candidate.items[i] = Item::Op(simpler);
+                if diverges(&candidate) {
+                    *p = candidate;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Shrink `program` to a (locally) minimal form for which `diverges`
+/// still returns `true`. The input must itself diverge; the result is
+/// guaranteed to.
+pub fn shrink<F: FnMut(&FuzzProgram) -> bool>(
+    program: &FuzzProgram,
+    mut diverges: F,
+) -> FuzzProgram {
+    debug_assert!(diverges(program), "shrink input must reproduce");
+    let mut p = program.clone();
+    for _ in 0..MAX_ROUNDS {
+        let deleted = delete_pass(&mut p, &mut diverges);
+        let simplified = simplify_pass(&mut p, &mut diverges);
+        if !deleted && !simplified {
+            break;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsoc_isa::opcode::AluOp;
+    use redsoc_isa::program::r;
+    use redsoc_prng::SmallRng;
+
+    use crate::gen::{gen_case, GenKnobs};
+
+    fn add_imm(dst: u8, imm: u32) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(dst)),
+            src1: Some(r(dst)),
+            op2: Operand2::Imm(imm),
+            set_flags: false,
+        }
+    }
+
+    #[test]
+    fn deletion_reduces_to_the_single_trigger() {
+        // "Bug": any program containing an ADD with immediate >= 100.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut p = gen_case(&mut rng, &GenKnobs::chain_heavy(60));
+        p.items.push(Item::Op(add_imm(0, 150)));
+        let has_trigger = |q: &FuzzProgram| {
+            q.items.iter().any(|it| {
+                matches!(
+                    it,
+                    Item::Op(Instr::Alu {
+                        op2: Operand2::Imm(v),
+                        ..
+                    }) if *v >= 100
+                )
+            })
+        };
+        assert!(has_trigger(&p));
+        let small = shrink(&p, has_trigger);
+        assert_eq!(small.op_count(), 1, "only the trigger survives");
+        assert!(has_trigger(&small));
+        assert!(small.build().is_ok(), "shrunk program still lowers");
+    }
+
+    #[test]
+    fn simplification_halves_immediates_toward_the_boundary() {
+        let p = FuzzProgram {
+            items: vec![Item::Op(add_imm(0, 4096))],
+            num_labels: 0,
+        };
+        let small = shrink(&p, |q| {
+            q.items.iter().any(|it| {
+                matches!(
+                    it,
+                    Item::Op(Instr::Alu {
+                        op2: Operand2::Imm(v),
+                        ..
+                    }) if *v >= 100
+                )
+            })
+        });
+        let Item::Op(Instr::Alu {
+            op2: Operand2::Imm(v),
+            ..
+        }) = small.items[0]
+        else {
+            panic!("shape preserved");
+        };
+        assert!(
+            (100..200).contains(&v),
+            "halved to just above threshold: {v}"
+        );
+    }
+
+    #[test]
+    fn shifted_operands_simplify_to_plain_registers() {
+        use redsoc_isa::operand::ShiftKind;
+        let instr = Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(0)),
+            src1: Some(r(1)),
+            op2: Operand2::ShiftedReg {
+                reg: r(2),
+                kind: ShiftKind::Lsr,
+                amount: 3,
+            },
+            set_flags: true,
+        };
+        let p = FuzzProgram {
+            items: vec![Item::Op(instr)],
+            num_labels: 0,
+        };
+        // Predicate: still an ADD writing r0 (operand form is free).
+        let small = shrink(&p, |q| {
+            q.items.iter().any(|it| {
+                matches!(
+                    it,
+                    Item::Op(Instr::Alu {
+                        op: AluOp::Add,
+                        dst: Some(d),
+                        ..
+                    }) if *d == r(0)
+                )
+            })
+        });
+        let Item::Op(Instr::Alu { op2, set_flags, .. }) = small.items[0] else {
+            panic!("shape preserved");
+        };
+        assert_eq!(op2, Operand2::Imm(0), "fully simplified operand");
+        assert!(!set_flags, "flag-setting dropped");
+    }
+}

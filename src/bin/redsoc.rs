@@ -531,8 +531,10 @@ fn cmd_sweepcmp(args: &[String]) -> CliResult {
     let load = |path: &String| -> Result<Json, CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        // A non-JSON argument is the caller handing us the wrong file —
+        // a usage error (exit 2), not an I/O failure.
         let doc = Json::parse(&text)
-            .map_err(|e| CliError::Io(format!("{path}: not valid sweep JSON: {e}")))?;
+            .map_err(|e| usage_err(format!("{path}: not valid sweep JSON: {e}")))?;
         Ok(canonicalize_sweep(&doc))
     };
     let (da, db) = (load(a)?, load(b)?);
@@ -557,6 +559,102 @@ fn cmd_sweepcmp(args: &[String]) -> CliResult {
     }
 }
 
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    use redsoc::verify::oracle::SchedKind;
+    use redsoc::verify::{run_fuzz, FuzzConfig};
+    let flags = Flags::parse(
+        args,
+        &[
+            "seed",
+            "cases",
+            "max-instrs",
+            "schedulers",
+            "repro-dir",
+            "sabotage",
+        ],
+    )?;
+    let mut cfg = FuzzConfig::new(flags.num("seed", 0u64)?, flags.num("cases", 500u64)?);
+    if cfg.cases == 0 {
+        return Err(usage_err("--cases must be positive"));
+    }
+    cfg.max_instrs = flags.num("max-instrs", 48usize)?;
+    if cfg.max_instrs == 0 {
+        return Err(usage_err("--max-instrs must be positive"));
+    }
+    if let Some(list) = flags.get("schedulers") {
+        let mut scheds = Vec::new();
+        for item in list.split(',') {
+            let kind = SchedKind::parse(item.trim()).ok_or_else(|| {
+                usage_err(format!(
+                    "unknown scheduler {item:?} (accepted: baseline,redsoc,mos,ts)"
+                ))
+            })?;
+            if !scheds.contains(&kind) {
+                scheds.push(kind);
+            }
+        }
+        if scheds.is_empty() {
+            return Err(usage_err("--schedulers needs at least one policy"));
+        }
+        cfg.scheds = scheds;
+    }
+    cfg.repro_dir = flags.get("repro-dir").map(std::path::PathBuf::from);
+    // Undocumented self-test knob: plant the inverted-skew fault so the
+    // harness's own detection path can be demonstrated end to end.
+    match flags.get("sabotage") {
+        None | Some("none") => {}
+        Some("invert-skew") => cfg.sabotage_redsoc = true,
+        Some(other) => {
+            return Err(usage_err(format!(
+                "unknown sabotage {other:?} (accepted: none|invert-skew)"
+            )))
+        }
+    }
+    let sched_names: Vec<&str> = cfg.scheds.iter().map(|k| k.label()).collect();
+    println!(
+        "fuzz: seed {} cases {} max-instrs {} schedulers {}",
+        cfg.seed,
+        cfg.cases,
+        cfg.max_instrs,
+        sched_names.join(",")
+    );
+    let summary = run_fuzz(&cfg, |line| {
+        // One line per diverging case only: a 500-case clean run stays
+        // readable and byte-stable.
+        if line.contains("DIVERGED") || line.contains("shrunk") {
+            println!("{line}");
+        }
+    })
+    .map_err(|e| CliError::Io(format!("repro emission failed: {e}")))?;
+    println!(
+        "checked {} case(s), {} dynamic instructions: {} divergence(s)",
+        summary.cases_run,
+        summary.dyn_ops,
+        summary.failures.len()
+    );
+    for f in &summary.failures {
+        println!(
+            "  case {} (core {}, {} instrs shrunk): {}",
+            f.case,
+            f.core,
+            f.shrunk.op_count(),
+            f.divergence
+        );
+        if let Some(p) = &f.repro_path {
+            println!("    repro: {}", p.display());
+        }
+    }
+    if summary.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Sim(format!(
+            "{} of {} case(s) diverged",
+            summary.failures.len(),
+            summary.cases_run
+        )))
+    }
+}
+
 fn usage() -> String {
     "usage: redsoc <command>\n\
      \n\
@@ -577,6 +675,11 @@ fn usage() -> String {
      \x20                          --max-retries N  retries for transient failures\n\
      \x20                          --backoff-ms N   retry backoff base)\n\
      \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock and thread count\n\
+     \x20 fuzz [flags]             differential fuzzing: random programs through the\n\
+     \x20                          interpreter and every scheduler in lockstep\n\
+     \x20                          (--seed N  --cases N  --max-instrs N\n\
+     \x20                          --schedulers baseline,redsoc,mos,ts\n\
+     \x20                          --repro-dir DIR   write shrunk .asm repros)\n\
      \n\
      flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N\n\
      exit codes: 0 ok, 1 io/mismatch, 2 usage, 3 simulator error, 4 partial sweep"
@@ -593,6 +696,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("sweepcmp") => cmd_sweepcmp(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => Err(CliError::Usage(usage())),
     };
     match result {

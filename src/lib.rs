@@ -17,7 +17,10 @@
 //!   schedulers (§III–IV, §VI-D);
 //! - [`workloads`] — the sixteen evaluation benchmarks (§V);
 //! - [`mod@bench`] — the parallel experiment engine (shared trace cache,
-//!   job grids, machine-readable sweep output).
+//!   job grids, machine-readable sweep output);
+//! - [`verify`] — differential fuzzing and lockstep verification
+//!   (`redsoc fuzz`): random programs checked across the interpreter and
+//!   every scheduler, with automatic shrinking of divergences.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@ pub use redsoc_core as core;
 pub use redsoc_isa as isa;
 pub use redsoc_mem as mem;
 pub use redsoc_timing as timing;
+pub use redsoc_verify as verify;
 pub use redsoc_workloads as workloads;
 
 /// One-stop imports for driving simulations.

@@ -240,6 +240,9 @@ fn cli_maps_errors_to_structured_exit_codes() {
         &["bench", "--bogus", "1"],
         &["bench", "--resume", "a.jnl", "--journal", "b.jnl"],
         &["bench", "--job-timeout", "0"],
+        &["fuzz", "--cases", "0"],
+        &["fuzz", "--schedulers", "nosuchsched"],
+        &["fuzz", "--sabotage", "nope"],
         &["frobnicate"],
     ];
     for args in cases {
@@ -269,4 +272,47 @@ fn cli_maps_errors_to_structured_exit_codes() {
     // I/O errors: exit 1.
     let out = run(redsoc().args(["sweepcmp", "/nonexistent/a.json", "/nonexistent/b.json"]));
     assert_eq!(exit_code(&out), 1, "missing sweep file exits 1: {out:?}");
+}
+
+#[test]
+fn sweepcmp_rejects_non_json_input_as_usage_error() {
+    // A file that exists but isn't JSON is the operator handing sweepcmp
+    // the wrong artifact — a usage error (exit 2), not an I/O failure
+    // (exit 1, reserved for unreadable paths) and not a sweep mismatch.
+    let dir = tmp_dir("sweepcmp-nonjson");
+    let bogus = dir.join("notes.txt");
+    std::fs::write(&bogus, "this is not a sweep document\n").expect("write fixture");
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &bogus.display().to_string(),
+        &bogus.display().to_string(),
+    ]));
+    assert_eq!(
+        exit_code(&out),
+        2,
+        "non-JSON input is a usage error: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("notes.txt") && !stderr.contains("panicked"),
+        "error names the offending file without panicking: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_smoke_run_is_clean_and_byte_reproducible() {
+    // A small fixed-seed campaign across all four schedulers: exits 0
+    // with no divergences, and the full stdout is byte-stable across
+    // invocations (the property CI's fuzz-smoke step relies on).
+    let args = ["fuzz", "--seed", "7", "--cases", "20"];
+    let a = run(redsoc().args(args));
+    assert_eq!(exit_code(&a), 0, "clean fuzz run exits 0: {a:?}");
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(
+        stdout.contains("checked 20 case(s)") && stdout.contains("0 divergence(s)"),
+        "summary line reports a clean campaign: {stdout}"
+    );
+    let b = run(redsoc().args(args));
+    assert_eq!(a.stdout, b.stdout, "fuzz output must be byte-reproducible");
 }

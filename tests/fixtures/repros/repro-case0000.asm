@@ -1,0 +1,11 @@
+; redsoc fuzz repro (auto-shrunk)
+; case: 0  case-seed: 0x9e3779b97f4a7c1c
+; core: big
+; divergence: [redsoc] timing invariant violated: 6 GP mispeculations despite skewed select
+.mem 65536
+.zero d0 1024
+        mov r28, #4096
+        orr r8, r8, #1
+        sdiv r3, r11, r8
+        adc r8, r3, #0
+        halt

@@ -1,0 +1,11 @@
+; redsoc fuzz repro (auto-shrunk)
+; case: 1  case-seed: 0x3c6ef372fe94f831
+; core: small
+; divergence: [redsoc] timing invariant violated: 2046 GP mispeculations despite skewed select
+.mem 65536
+.zero d0 1024
+        mov r28, #4096
+L0:
+        sub r27, r27, #0
+        bne L0
+        halt

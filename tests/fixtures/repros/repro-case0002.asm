@@ -1,0 +1,11 @@
+; redsoc fuzz repro (auto-shrunk)
+; case: 2  case-seed: 0xdaa66d2c7ddf7446
+; core: medium
+; divergence: [redsoc] timing invariant violated: 1 GP mispeculations despite skewed select
+.mem 65536
+.zero d0 1024
+        mov r28, #4096
+        mul r0, r0, r4
+        adds r1, r0, #0
+        asr r1, r1, #0
+        halt

@@ -1,0 +1,117 @@
+//! Replay of shrunk fuzzer repros committed under `tests/fixtures/repros/`.
+//!
+//! Every `.asm` file in that directory is a divergence the fuzzer found,
+//! shrunk, and emitted (see `crates/verify`). Each repro records the core
+//! configuration it diverged on in a `; core: <name>` header comment.
+//! This suite re-assembles each file and re-runs the lockstep oracle:
+//!
+//! - under the **clean** oracle, every repro must pass — the committed
+//!   fixtures document *fixed* (or injected-fault-only) divergences, so a
+//!   failure here means a real regression in a scheduler or the pipeline;
+//! - repros whose recorded divergence blames `[redsoc]` must still
+//!   reproduce under the inverted-skew fault injection, proving the
+//!   fixture actually exercises the invariant it was shrunk for.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use redsoc::isa::asm::assemble;
+use redsoc::verify::core_by_name;
+use redsoc::verify::oracle::{check_program, Divergence, OracleConfig, SchedKind};
+
+/// All committed repro files, sorted for deterministic test order.
+fn repro_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/repros");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/fixtures/repros exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "asm"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no repro fixtures found in {}",
+        dir.display()
+    );
+    files
+}
+
+/// Parses a `; key: value` header comment out of a repro file.
+fn header_field<'a>(source: &'a str, key: &str) -> Option<&'a str> {
+    let prefix = format!("; {key}:");
+    source
+        .lines()
+        .take_while(|l| l.starts_with(';'))
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .map(str::trim)
+}
+
+#[test]
+fn repro_headers_name_a_known_core() {
+    for path in repro_files() {
+        let source = fs::read_to_string(&path).expect("repro is readable");
+        let core = header_field(&source, "core")
+            .unwrap_or_else(|| panic!("{}: missing `; core:` header", path.display()));
+        assert!(
+            core_by_name(core).is_some(),
+            "{}: unknown core `{core}` in header",
+            path.display()
+        );
+        assert!(
+            header_field(&source, "divergence").is_some(),
+            "{}: missing `; divergence:` header",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn repros_pass_the_clean_oracle() {
+    for path in repro_files() {
+        let source = fs::read_to_string(&path).expect("repro is readable");
+        let core =
+            core_by_name(header_field(&source, "core").expect("core header")).expect("known core");
+        let program = assemble(&source)
+            .unwrap_or_else(|e| panic!("{}: does not assemble: {e}", path.display()));
+        let ok = check_program(&program, &OracleConfig::new(core))
+            .unwrap_or_else(|d| panic!("{}: regressed under clean oracle: {d}", path.display()));
+        assert!(ok.dyn_ops > 0, "{}: repro executed nothing", path.display());
+    }
+}
+
+#[test]
+fn redsoc_repros_still_diverge_under_fault_injection() {
+    let mut exercised = 0;
+    for path in repro_files() {
+        let source = fs::read_to_string(&path).expect("repro is readable");
+        let divergence = header_field(&source, "divergence").expect("divergence header");
+        if !divergence.contains("[redsoc]") {
+            continue;
+        }
+        exercised += 1;
+        let core =
+            core_by_name(header_field(&source, "core").expect("core header")).expect("known core");
+        let program = assemble(&source).expect("repro assembles");
+        let mut cfg = OracleConfig::new(core);
+        cfg.sabotage_redsoc = true;
+        let div = check_program(&program, &cfg).expect_err(
+            "repro must still trip the sabotaged scheduler — if the fixture no longer \
+             exercises the invariant, regenerate it with `redsoc fuzz`",
+        );
+        assert_eq!(
+            div.sched(),
+            Some(SchedKind::Redsoc),
+            "{}: wrong policy blamed: {div}",
+            path.display()
+        );
+        assert!(
+            matches!(div, Divergence::TimingViolation { .. }),
+            "{}: expected a timing violation, got: {div}",
+            path.display()
+        );
+    }
+    assert!(
+        exercised > 0,
+        "no repro fixture exercises the redsoc invariants"
+    );
+}

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use redsoc::mem::{Cache, CacheConfig};
 use redsoc::prelude::*;
 use redsoc::timing::quant::Quant;
-use redsoc::timing::width_predictor::WidthPredictor;
+use redsoc::timing::width_predictor::{WidthOutcome, WidthPredictor};
 
 /// Strategy: one random scalar ALU instruction writing/reading the low
 /// registers.
@@ -155,6 +155,57 @@ proptest! {
         }
         let s = p.stats();
         prop_assert_eq!(s.exact + s.conservative + s.aggressive, s.predictions);
+    }
+
+    /// Loh resetting-counter law (§II-B), checked step-by-step against a
+    /// reference model: the predictor emits its stored width *only* at
+    /// saturated confidence and is W32-conservative otherwise; a matching
+    /// observation bumps the (saturating) counter; any mismatch rewrites
+    /// the entry to the observed width and zeroes the counter, so narrow
+    /// predictions reappear only after `2^k - 1` consecutive agreements.
+    #[test]
+    fn width_predictor_follows_resetting_counter_law(
+        widths in prop::collection::vec(prop::sample::select(vec![4u8, 12, 20, 32]), 1..300),
+        conf_bits in 1u8..=4,
+    ) {
+        let mut p = WidthPredictor::new(16, conf_bits);
+        let conf_max = (1u8 << conf_bits) - 1;
+        let pc = 0x40; // one pc → one entry: the law is per-entry
+        // Reference model of the entry: (stored width, confidence).
+        let mut stored = WidthClass::W32;
+        let mut conf = 0u8;
+        for &w in &widths {
+            let actual = WidthClass::from_bits(w);
+            let pred = p.predict(pc);
+            let expected = if conf >= conf_max { stored } else { WidthClass::W32 };
+            prop_assert_eq!(pred, expected, "conf {}/{} stored {:?}", conf, conf_max, stored);
+            // Outcome classification is exactly the order relation on
+            // width classes (wider prediction = conservative).
+            let outcome = p.update(pc, pred, actual);
+            let want = match pred.cmp(&actual) {
+                core::cmp::Ordering::Equal => WidthOutcome::Exact,
+                core::cmp::Ordering::Greater => WidthOutcome::Conservative,
+                core::cmp::Ordering::Less => WidthOutcome::Aggressive,
+            };
+            prop_assert_eq!(outcome, want);
+            if stored == actual {
+                conf = (conf + 1).min(conf_max);
+            } else {
+                stored = actual;
+                conf = 0;
+            }
+        }
+        // Retraining after the sequence: a narrow width must take exactly
+        // one resetting mismatch (unless already stored) plus `conf_max`
+        // agreements before it is predicted.
+        let narrow = WidthClass::W8;
+        let mut steps = 0;
+        while p.predict(pc) != narrow {
+            prop_assert!(steps <= u32::from(conf_max) + 1, "retraining never converged");
+            p.update(pc, p.predict(pc), narrow);
+            steps += 1;
+        }
+        prop_assert_eq!(p.predict(pc), narrow);
     }
 
     /// The slack LUT upper-bounds every concrete operation time, for any
