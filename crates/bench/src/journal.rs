@@ -302,6 +302,30 @@ impl Journal {
         }
         Ok(())
     }
+
+    /// Force every appended record onto stable storage (`fsync`). Called
+    /// once when the sweep completes, *before* the final sweep document
+    /// is written: `append`'s per-record flush empties userspace buffers
+    /// but leaves the OS page cache in charge, so a power loss or kill in
+    /// the tail window — after the last job finishes but before the sweep
+    /// JSON lands — could otherwise lose journal lines *and* have no
+    /// sweep document, forcing those cells to re-run on resume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `fsync` failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal lock is poisoned, which cannot happen: the
+    /// critical section never panics.
+    pub fn sync_to_disk(&self) -> std::io::Result<()> {
+        let w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        w.file.sync_all()
+    }
 }
 
 #[cfg(test)]

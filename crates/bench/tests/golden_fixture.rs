@@ -50,3 +50,80 @@ fn sweep_matches_pre_refactor_golden_fixture() {
         panic!("sweep-level fields diverged from the golden fixture");
     }
 }
+
+/// Scan-equivalence property: the event-driven wakeup must produce the
+/// *same event stream* as the legacy O(window) full scan it replaced —
+/// not just the same end-of-run report. Every fuzz-generated program is
+/// run through both paths (`Simulator::with_scan_wakeup`, compiled in via
+/// the dev-only `scan-wakeup` feature) under every scheduler flavour,
+/// including *unskewed* ReDSOC so the GP-mispeculation deferral path is
+/// exercised, and the `(cycle, event)` sequences are compared entry by
+/// entry. This is the strongest cycle-identicality oracle in the suite:
+/// a ready-set entry waking one cycle late would shift a `SelectGrant`
+/// even if the final cycle count happened to coincide.
+#[test]
+fn event_driven_wakeup_matches_full_scan_event_stream() {
+    use redsoc_core::config::{CoreConfig, SchedulerConfig};
+    use redsoc_core::events::VecSink;
+    use redsoc_core::pipeline::Simulator;
+    use redsoc_isa::interp::Interpreter;
+    use redsoc_prng::SmallRng;
+    use redsoc_verify::gen::{gen_case, GenKnobs};
+
+    let scheds: Vec<(&str, SchedulerConfig)> = vec![
+        ("baseline", SchedulerConfig::baseline()),
+        ("redsoc", SchedulerConfig::redsoc()),
+        ("redsoc-unskewed", {
+            let mut s = SchedulerConfig::redsoc();
+            s.skewed_select = false; // reaches GP-mispeculation recovery
+            s
+        }),
+        ("mos", SchedulerConfig::mos()),
+    ];
+    let cores = CoreConfig::table1();
+
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_5EED);
+    for case in 0..48u64 {
+        let knobs = GenKnobs::sampled(&mut rng, 48);
+        let program = gen_case(&mut rng, &knobs)
+            .build()
+            .unwrap_or_else(|e| panic!("case {case} builds: {e}"));
+        let trace = Interpreter::new(&program)
+            .run(4096)
+            .unwrap_or_else(|e| panic!("case {case} must not fault: {e:?}"));
+        let core = cores[(case % 3) as usize].clone();
+        for (name, sched) in &scheds {
+            let config = core.clone().with_sched(sched.clone());
+            let mut scan = VecSink::default();
+            let mut event_driven = VecSink::default();
+            Simulator::new(config.clone())
+                .expect("config valid")
+                .with_scan_wakeup()
+                .run_events(trace.iter().copied(), &mut scan)
+                .unwrap_or_else(|e| panic!("case {case}/{name}: scan run failed: {e}"));
+            Simulator::new(config)
+                .expect("config valid")
+                .run_events(trace.iter().copied(), &mut event_driven)
+                .unwrap_or_else(|e| panic!("case {case}/{name}: event run failed: {e}"));
+            if scan.events != event_driven.events {
+                let i = scan
+                    .events
+                    .iter()
+                    .zip(&event_driven.events)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| scan.events.len().min(event_driven.events.len()));
+                panic!(
+                    "case {case} ({}/{name}): event streams diverge at index {i}:\n\
+                     scan:         {:?}\n\
+                     event-driven: {:?}\n\
+                     ({} vs {} events total)",
+                    core.name,
+                    scan.events.get(i),
+                    event_driven.events.get(i),
+                    scan.events.len(),
+                    event_driven.events.len(),
+                );
+            }
+        }
+    }
+}

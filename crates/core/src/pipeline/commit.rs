@@ -75,6 +75,10 @@ impl PipelineState {
             }
             self.base_seq += 1;
         }
+        // Keep the store index in step with the window slide.
+        while self.store_seqs.front().is_some_and(|&s| s < self.base_seq) {
+            self.store_seqs.pop_front();
+        }
     }
 
     /// Flush remaining chain records at end of simulation.

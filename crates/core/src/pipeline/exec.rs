@@ -92,22 +92,26 @@ impl PipelineState {
 
     /// Whether a waiting load is blocked by an older overlapping store that
     /// has not produced its data yet (perfect disambiguation: the trace
-    /// gives exact addresses).
+    /// gives exact addresses). Walks the in-window store index
+    /// (`store_seqs`, program order) rather than the whole window.
     #[must_use]
     pub fn load_blocked(&self, load: &Ifo) -> bool {
         let Some(addr) = load.op.eff_addr else {
             return false;
         };
         let (a0, a1) = Self::byte_range(addr, &load.op.instr);
-        self.ifos.iter().any(|s| {
-            s.op.seq < load.op.seq
-                && matches!(s.op.instr, Instr::Store { .. })
-                && !s.issued
-                && s.op.eff_addr.is_some_and(|sa| {
-                    let (s0, s1) = Self::byte_range(sa, &s.op.instr);
-                    s0 < a1 && a0 < s1
+        self.store_seqs
+            .iter()
+            .take_while(|&&s| s < load.op.seq)
+            .any(|&s| {
+                self.ifo(s).is_some_and(|st| {
+                    !st.issued
+                        && st.op.eff_addr.is_some_and(|sa| {
+                            let (s0, s1) = Self::byte_range(sa, &st.op.instr);
+                            s0 < a1 && a0 < s1
+                        })
                 })
-        })
+            })
     }
 
     pub(crate) fn byte_range(addr: u32, instr: &Instr) -> (u64, u64) {
@@ -119,21 +123,23 @@ impl PipelineState {
     }
 
     /// The youngest older store overlapping this load, if any (for
-    /// store-to-load forwarding).
+    /// store-to-load forwarding). The store index is in program order, so
+    /// the first overlap found scanning backwards is the youngest.
     pub(crate) fn forwarding_store(&self, load: &Ifo) -> Option<&Ifo> {
         let addr = load.op.eff_addr?;
         let (a0, a1) = Self::byte_range(addr, &load.op.instr);
-        self.ifos
+        self.store_seqs
             .iter()
-            .filter(|s| {
-                s.op.seq < load.op.seq
-                    && matches!(s.op.instr, Instr::Store { .. })
-                    && s.op.eff_addr.is_some_and(|sa| {
-                        let (s0, s1) = Self::byte_range(sa, &s.op.instr);
+            .rev()
+            .skip_while(|&&s| s >= load.op.seq)
+            .find_map(|&s| {
+                self.ifo(s).filter(|st| {
+                    st.op.eff_addr.is_some_and(|sa| {
+                        let (s0, s1) = Self::byte_range(sa, &st.op.instr);
                         s0 < a1 && a0 < s1
                     })
+                })
             })
-            .max_by_key(|s| s.op.seq)
     }
 
     /// Completion/occupancy timing for non-recyclable classes: multi-cycle

@@ -269,6 +269,8 @@ impl PipelineState {
             chain_extended: false,
             committed: false,
             l1_miss: false,
+            waiters: Vec::new(),
+            in_ready: false,
         };
 
         // RAT update: destination register and flags.
@@ -286,6 +288,12 @@ impl PipelineState {
         if op.instr.is_mem() {
             self.lsq_used += 1;
         }
+        if matches!(op.instr, Instr::Store { .. }) {
+            self.store_seqs.push_back(seq);
+        }
+        // Event-driven wakeup: arm the earliest-request alarm and
+        // subscribe to still-unissued producers (srcs and grandparent).
+        self.wakeup_on_dispatch(seq);
         if S::ENABLED {
             sink.record(
                 self.cycle,

@@ -12,11 +12,11 @@
 //! [`Scheduler::post_issue`] may fuse dependents into the same cycle.
 
 use crate::events::{EventSink, PipeEvent};
-use crate::fu::PoolKind;
 use crate::sched::{IssueArgs, Scheduler, SelectRequest};
 use crate::tag_pred::LastArrival;
 
 use super::state::PipelineState;
+use super::wakeup::POOLS;
 
 /// Outcome of one issue attempt inside the select pass.
 pub(crate) enum IssueOutcome {
@@ -29,17 +29,77 @@ pub(crate) enum IssueOutcome {
 impl PipelineState {
     /// One wakeup/select/issue pass. Returns whether a non-speculative
     /// request was denied a unit this cycle (the FU-contention signal).
+    ///
+    /// Event-driven: requests are gathered from the per-pool ready sets
+    /// maintained by [`crate::pipeline::wakeup`], so the pass costs
+    /// O(ready + broadcasts) rather than O(window). With the `scan-wakeup`
+    /// feature the legacy full-window scan can be selected at runtime for
+    /// differential testing; both paths produce identical event streams.
     pub(crate) fn select_and_issue<S: EventSink>(
         &mut self,
         sched: &dyn Scheduler,
         sink: &mut S,
     ) -> bool {
-        // Gather requests per pool (wakeup).
-        let mut requests: Vec<(PoolKind, Vec<SelectRequest>)> =
-            [PoolKind::Alu, PoolKind::Simd, PoolKind::Fp, PoolKind::Mem]
-                .into_iter()
-                .map(|k| (k, Vec::new()))
-                .collect();
+        #[cfg(feature = "scan-wakeup")]
+        if self.scan_wakeup {
+            return self.select_and_issue_scan(sched, sink);
+        }
+
+        // Fire due timer-wheel alarms, refreshing ready-set membership.
+        self.wakeup_drain(sched);
+
+        // Gather requests per pool — from the ready sets only. Members are
+        // re-evaluated so a stale candidate simply declines to bid (and a
+        // speculative EGPW bid upgrades once its parent issues); blocked
+        // loads poll their store hazard from inside the ready set, exactly
+        // as the full scan did.
+        for pi in 0..POOLS.len() {
+            debug_assert!(self.wakeup.requests[pi].is_empty());
+            for i in 0..self.wakeup.ready[pi].len() {
+                let seq = self.wakeup.ready[pi][i];
+                let req = {
+                    let x = self.ifo(seq).expect("ready entries are in flight");
+                    debug_assert!(
+                        !x.issued && !x.committed && x.earliest_req <= self.cycle,
+                        "stale ready-set entry {seq}"
+                    );
+                    if matches!(x.op.instr, redsoc_isa::instruction::Instr::Load { .. })
+                        && self.load_blocked(x)
+                    {
+                        None
+                    } else {
+                        sched.wakeup(self, x)
+                    }
+                };
+                if let Some(req) = req {
+                    self.wakeup.requests[pi].push(req);
+                }
+            }
+            // Canonical pre-select order: ascending seq, exactly as the
+            // window scan produced. Seqs are unique, so the unstable sort
+            // is deterministic (and allocation-free).
+            self.wakeup.requests[pi].sort_unstable_by_key(|r| r.seq);
+        }
+
+        let stalled = self.issue_from_requests(sched, sink);
+
+        // Drop issued/deferred entries from the ready sets; deferred ones
+        // have their re-entry alarm armed by `wakeup_defer`.
+        self.wakeup_compact();
+
+        if stalled {
+            self.report.fu_stall_cycles += 1;
+        }
+        stalled
+    }
+
+    /// The legacy O(window) request gather, kept compiled under the
+    /// `scan-wakeup` feature as the differential-testing reference for
+    /// the event-driven path (see `Simulator::with_scan_wakeup`).
+    #[cfg(feature = "scan-wakeup")]
+    fn select_and_issue_scan<S: EventSink>(&mut self, sched: &dyn Scheduler, sink: &mut S) -> bool {
+        let mut requests = core::mem::take(&mut self.wakeup.requests);
+        debug_assert!(requests.iter().all(Vec::is_empty));
         for x in &self.ifos {
             if x.committed || x.issued || x.earliest_req > self.cycle {
                 continue;
@@ -50,20 +110,30 @@ impl PipelineState {
                 continue;
             }
             if let Some(req) = sched.wakeup(self, x) {
-                let slot = requests
-                    .iter_mut()
-                    .find(|(k, _)| *k == x.pool)
-                    .expect("pool exists");
-                slot.1.push(req);
+                requests[super::wakeup::pool_index(x.pool)].push(req);
             }
         }
+        self.wakeup.requests = requests;
+        let stalled = self.issue_from_requests(sched, sink);
+        if stalled {
+            self.report.fu_stall_cycles += 1;
+        }
+        stalled
+    }
 
+    /// Select and grant the per-pool requests staged in the shared
+    /// scratch buffers — the half of the issue pass common to the
+    /// event-driven and scan paths. Clears the request buffers.
+    fn issue_from_requests<S: EventSink>(&mut self, sched: &dyn Scheduler, sink: &mut S) -> bool {
         let exec_cycle = self.cycle + 1;
         let mut stalled = false;
-        let mut granted_this_cycle: Vec<u64> = Vec::new();
+        let mut granted_this_cycle = core::mem::take(&mut self.wakeup.granted);
+        debug_assert!(granted_this_cycle.is_empty());
 
-        for (kind, mut reqs) in requests {
+        for (pi, kind) in POOLS.iter().copied().enumerate() {
+            let mut reqs = core::mem::take(&mut self.wakeup.requests[pi]);
             if reqs.is_empty() {
+                self.wakeup.requests[pi] = reqs;
                 continue;
             }
             sched.select(&mut reqs);
@@ -72,7 +142,7 @@ impl PipelineState {
             // request in this pool is still pending, no speculative request
             // may be granted. Tracked here and debug-asserted per grant.
             let mut nonspec_pending = reqs.iter().filter(|r| !r.spec).count();
-            for SelectRequest { seq, spec } in reqs {
+            for &SelectRequest { seq, spec } in &reqs {
                 if free == 0 {
                     if !spec {
                         stalled = true;
@@ -99,10 +169,11 @@ impl PipelineState {
                     | IssueOutcome::GpMispeculation => {}
                 }
             }
+            reqs.clear();
+            self.wakeup.requests[pi] = reqs;
         }
-        if stalled {
-            self.report.fu_stall_cycles += 1;
-        }
+        granted_this_cycle.clear();
+        self.wakeup.granted = granted_this_cycle;
         stalled
     }
 
@@ -165,6 +236,7 @@ impl PipelineState {
                 let pen = u64::from(self.config.sched.tag_mispredict_penalty);
                 let x = self.ifo_mut(seq).expect("entry");
                 x.earliest_req = t + pen;
+                self.wakeup_defer(seq);
                 if S::ENABLED {
                     sink.record(
                         t,
@@ -223,6 +295,7 @@ impl PipelineState {
                     let xm = self.ifo_mut(seq).expect("entry");
                     xm.fallback = true;
                     xm.earliest_req = t + pen;
+                    self.wakeup_defer(seq);
                     if S::ENABLED {
                         sink.record(
                             t,
@@ -283,6 +356,7 @@ impl PipelineState {
             // Defensive: the value only materialises after our FU hold.
             let xm = self.ifo_mut(seq).expect("entry");
             xm.earliest_req = t + 1;
+            self.wakeup_defer(seq);
             return IssueOutcome::SpecNotRecyclable;
         }
 
@@ -376,8 +450,12 @@ impl PipelineState {
 
         // Post-issue policy: a fusing scheduler (MOS) packs dependent ops
         // into the producer's execution cycle; the pipeline emits their
-        // issue events so sinks see the same stream as a real issue.
+        // issue events (so sinks see the same stream as a real issue) and
+        // their wakeup broadcasts. The producer's own CI-bus broadcast is
+        // deferred until after the hook so a fusing policy can still read
+        // its intact waiter list (the subscribed-consumer index).
         for fused in sched.post_issue(self, seq, t) {
+            self.wakeup_broadcast(fused.seq);
             if S::ENABLED {
                 sink.record(
                     t,
@@ -401,6 +479,8 @@ impl PipelineState {
                 );
             }
         }
+        // CI-bus broadcast: wake the consumers subscribed to this entry.
+        self.wakeup_broadcast(seq);
         IssueOutcome::Issued
     }
 }

@@ -45,6 +45,7 @@ pub mod exec;
 pub mod frontend;
 pub mod issue;
 pub mod state;
+pub mod wakeup;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -243,6 +244,19 @@ impl Simulator {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = token;
+        self
+    }
+
+    /// Differential-testing escape hatch (feature `scan-wakeup`): drive
+    /// the issue stage with the legacy O(window) full scan instead of the
+    /// event-driven ready sets of [`wakeup`]. Both paths must produce
+    /// byte-identical results — that equivalence is what the
+    /// golden-fixture property test asserts. Not part of the stable API.
+    #[cfg(feature = "scan-wakeup")]
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_scan_wakeup(mut self) -> Self {
+        self.state.scan_wakeup = true;
         self
     }
 

@@ -26,6 +26,7 @@ use crate::fu::{FuPool, PoolKind};
 use crate::stats::SimReport;
 use crate::tag_pred::{LastArrival, TagPredictor};
 
+use super::wakeup::WakeupState;
 use super::SimError;
 
 /// Dynamic instruction state while in flight — one reservation-station /
@@ -86,6 +87,13 @@ pub struct Ifo {
     pub committed: bool,
     /// Whether the op missed in the L1 (loads/stores).
     pub l1_miss: bool,
+    /// Event-driven wakeup: sequence tags of dispatched consumers waiting
+    /// on this entry's issue broadcast (drained exactly once at issue; see
+    /// [`crate::pipeline::wakeup`]).
+    pub(crate) waiters: Vec<u64>,
+    /// Whether this entry currently sits in its pool's ready set (the
+    /// membership mirror preventing double insertion).
+    pub(crate) in_ready: bool,
 }
 
 /// A fetched op waiting to dispatch.
@@ -125,6 +133,10 @@ pub struct PipelineState {
     pub(crate) rse_used: u32,
     pub(crate) lsq_used: u32,
     pub(crate) rat: [Option<u64>; NUM_ARCH_REGS],
+    /// In-window store seqs in program order — the index behind
+    /// [`PipelineState::load_blocked`] / `forwarding_store`, so memory
+    /// disambiguation walks only the stores, not the whole window.
+    pub(crate) store_seqs: VecDeque<u64>,
     pub(crate) fetchq: VecDeque<Fetched>,
     pub(crate) fetch_stopped: bool,
     pub(crate) pending_redirect: Option<u64>,
@@ -141,6 +153,12 @@ pub struct PipelineState {
     pub(crate) tag_pred: TagPredictor,
     pub(crate) gshare: Gshare,
     pub(crate) memory: MemoryHierarchy,
+
+    // Event-driven wakeup bookkeeping + persistent issue-stage scratch.
+    pub(crate) wakeup: WakeupState,
+    /// Drive issue with the legacy O(window) scan (differential testing).
+    #[cfg(feature = "scan-wakeup")]
+    pub(crate) scan_wakeup: bool,
 
     // Statistics.
     pub(crate) report: SimReport,
@@ -177,6 +195,7 @@ impl PipelineState {
             rse_used: 0,
             lsq_used: 0,
             rat: [None; NUM_ARCH_REGS],
+            store_seqs: VecDeque::new(),
             fetchq: VecDeque::new(),
             fetch_stopped: false,
             pending_redirect: None,
@@ -189,6 +208,9 @@ impl PipelineState {
             tag_pred: TagPredictor::new(config.sched.tag_predictor_entries),
             gshare: Gshare::default_config(),
             memory,
+            wakeup: WakeupState::new(),
+            #[cfg(feature = "scan-wakeup")]
+            scan_wakeup: false,
             report: SimReport::default(),
             config,
         })

@@ -7,6 +7,11 @@ use super::Scheduler;
 /// boundary, no slack is recycled. Every [`Scheduler`] default method *is*
 /// this policy, so the implementation is empty — which is exactly the
 /// point: the baseline is the trait's reference semantics.
+///
+/// Wakeup purity audit: the default `wakeup` reads only `x.srcs` through
+/// `src_sel_ready` at the current cycle — pure and monotone, exactly the
+/// event set (source issue broadcasts) the pipeline subscribes to.
+/// Contract satisfied.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BaselineScheduler;
 

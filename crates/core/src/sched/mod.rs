@@ -39,7 +39,7 @@
 //!         "youngest-first"
 //!     }
 //!     fn select(&self, requests: &mut [SelectRequest]) {
-//!         requests.sort_by_key(|r| std::cmp::Reverse(r.seq));
+//!         requests.sort_unstable_by_key(|r| std::cmp::Reverse(r.seq));
 //!     }
 //! }
 //!
@@ -161,6 +161,29 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     /// pipeline has already filtered issued/committed entries, recovery
     /// holds (`earliest_req`) and blocked loads. The default is
     /// conventional wakeup: request once every source has broadcast.
+    ///
+    /// # Purity contract (event-driven wakeup)
+    ///
+    /// The issue stage evaluates this hook *lazily*: an entry sleeps until
+    /// one of its wake events fires (a source's issue broadcast, or its
+    /// own `earliest_req` alarm) and is only then re-polled. For that to
+    /// be equivalent to polling every cycle, `wakeup` must be:
+    ///
+    /// 1. **Pure** in the entry's own fields, the source scoreboard
+    ///    (`src_sel_ready` over `srcs` ∪ `gp_tag`) and the current cycle —
+    ///    no hidden state, no side effects.
+    /// 2. **Monotone** in the cycle: once it returns `Some` it keeps
+    ///    returning `Some` (with possibly different `spec`) until the
+    ///    entry issues or its `earliest_req` is pushed into the future by
+    ///    a recovery path.
+    ///
+    /// If an implementation cannot satisfy the contract (it reads state
+    /// the wake events don't cover), the pipeline degrades gracefully: an
+    /// entry whose sources have all issued but whose `wakeup` still
+    /// returns `None` is re-armed for the next cycle and polled again —
+    /// never silently dropped — at per-cycle polling cost for that entry.
+    /// All four in-tree schedulers satisfy the contract (audit notes in
+    /// each module).
     fn wakeup(&self, state: &PipelineState, x: &Ifo) -> Option<SelectRequest> {
         let all_ready = x.srcs.iter().all(|&t| {
             state
@@ -174,9 +197,10 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     }
 
     /// Select: order one pool's requests before grants are handed out in
-    /// vector order. The default is oldest-first.
+    /// vector order. The default is oldest-first. Sequence tags are
+    /// unique, so an unstable sort is deterministic and allocation-free.
     fn select(&self, requests: &mut [SelectRequest]) {
-        requests.sort_by_key(|r| r.seq);
+        requests.sort_unstable_by_key(|r| r.seq);
     }
 
     /// Whether skewed arbitration is active: non-speculative requests are

@@ -75,6 +75,12 @@ impl Scheduler for RedsocScheduler {
         recyclable
     }
 
+    // Purity audit: reads only `x`'s rename-time fields (`recyclable`,
+    // `fallback`, `pred_last`, `gp_tag`, `srcs`) and `src_sel_ready` over
+    // srcs ∪ gp_tag at the current cycle. `src_sel_ready` thresholds are
+    // fixed once a producer issues, so the result is monotone in the
+    // cycle; the issue broadcast of any tag in srcs ∪ gp_tag is exactly
+    // the event set the pipeline subscribes to. Contract satisfied.
     fn wakeup(&self, state: &PipelineState, x: &Ifo) -> Option<SelectRequest> {
         let cycle = state.cycle();
         let ready = |t: u64| state.src_sel_ready(t, x).is_some_and(|r| r <= cycle);
@@ -113,13 +119,15 @@ impl Scheduler for RedsocScheduler {
         // Skewed selection (§IV-D): non-speculative requests first,
         // oldest-first within each group. Unskewed: purely oldest-first
         // (the original GPW behaviour, exposing GP-mispeculation).
+        // Every key includes the unique `seq`, so an unstable sort is
+        // deterministic and avoids the stable sort's scratch allocation.
         if self.invert_select {
             // Injected fault: speculative-first, the ordering skew forbids.
-            requests.sort_by_key(|r| (core::cmp::Reverse(r.spec), r.seq));
+            requests.sort_unstable_by_key(|r| (core::cmp::Reverse(r.spec), r.seq));
         } else if self.skewed {
-            requests.sort_by_key(|r| (r.spec, r.seq));
+            requests.sort_unstable_by_key(|r| (r.spec, r.seq));
         } else {
-            requests.sort_by_key(|r| r.seq);
+            requests.sort_unstable_by_key(|r| r.seq);
         }
     }
 

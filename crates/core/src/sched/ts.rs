@@ -31,6 +31,10 @@ use super::Scheduler;
 /// statically in [`run_ts`]: the clock is shortened per application and
 /// fixed-time structures are rescaled, then this scheduler drives the
 /// pipeline exactly as the baseline would.
+///
+/// Wakeup purity audit: no `wakeup` override — inherits the default
+/// all-operands wakeup, whose purity is audited in
+/// [`baseline`](super::baseline). Contract satisfied.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TsScheduler;
 

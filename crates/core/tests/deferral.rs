@@ -1,0 +1,235 @@
+//! Regression tests for the event-driven wakeup's deferral/retry paths.
+//!
+//! When a select grant is rejected — a last-arrival tag misprediction or
+//! a grandparent mispeculation — the entry's `earliest_req` is pushed to
+//! `t + penalty` and the entry leaves the ready set. These tests craft
+//! dependence patterns that force each recovery path and assert, from the
+//! event stream, that the deferred entry re-enters selection at **exactly**
+//! its retry cycle — never earlier (the penalty must bite) and never
+//! later (the timer-wheel alarm must fire; a dropped entry would deadlock
+//! or issue late). This pins the satellite invariant of the event-driven
+//! wakeup rewrite: deferred entries are re-armed, not silently dropped.
+
+use redsoc_core::config::{CoreConfig, SchedulerConfig};
+use redsoc_core::events::{PipeEvent, VecSink};
+use redsoc_core::pipeline::simulate_events;
+use redsoc_isa::prelude::*;
+
+/// For every deferral event `(seq, retry_cycle)` in `events`, assert the
+/// next grant of `seq` lands at exactly `retry_cycle` and that `seq`
+/// still issues afterwards. Returns how many deferrals were checked.
+fn assert_retries_exact(events: &[(u64, PipeEvent)]) -> usize {
+    let mut checked = 0;
+    for (i, (cycle, ev)) in events.iter().enumerate() {
+        let (seq, retry_cycle, kind) = match *ev {
+            PipeEvent::TagMispredict { seq, retry_cycle } => (seq, retry_cycle, "tag-mispredict"),
+            PipeEvent::GpMispeculation { seq, retry_cycle } => (seq, retry_cycle, "gp-misspec"),
+            _ => continue,
+        };
+        assert!(retry_cycle > *cycle, "penalty must defer into the future");
+        let regrant = events[i + 1..]
+            .iter()
+            .find_map(|(c, e)| {
+                matches!(e, PipeEvent::SelectGrant { seq: s, .. } if *s == seq).then_some(*c)
+            })
+            .unwrap_or_else(|| {
+                panic!("{kind}: seq {seq} deferred at {cycle} was never re-granted")
+            });
+        assert_eq!(
+            regrant, retry_cycle,
+            "{kind}: seq {seq} deferred at cycle {cycle} must re-enter select at \
+             exactly its retry cycle"
+        );
+        assert!(
+            events[i + 1..]
+                .iter()
+                .any(|(_, e)| matches!(e, PipeEvent::Issue { seq: s, .. } if *s == seq)),
+            "{kind}: seq {seq} never issued after deferral"
+        );
+        checked += 1;
+    }
+    checked
+}
+
+/// Tag-misprediction retry: train the last-arrival predictor on a stable
+/// operand order, then flip the order so a confident prediction fires on
+/// the wrong tag. The scoreboard rejects the grant, the entry defers by
+/// `tag_mispredict_penalty`, and — because the slow producer (a 3-cycle
+/// multiply issued two cycles before the mispredicting grant) broadcasts
+/// no later than the retry cycle — the fallback all-operand retry is
+/// granted at exactly `t + penalty`.
+///
+/// Each instance is four ops: a slow seed multiply, two producers
+/// reading the seed (so neither can issue before the consumer has
+/// dispatched, whatever the commit-paced dispatch alignment), and the
+/// two-source consumer (always the same PC, so it owns one predictor
+/// entry). A small ROB keeps at most two instances in flight, so
+/// training from earlier instances lands before later instances consume
+/// predictions. EGPW is off: a speculative grant on the grandparent
+/// would otherwise let the flipped consumer issue before its confident
+/// prediction is ever validated.
+#[test]
+fn tag_mispredict_retry_regrants_at_exact_cycle() {
+    let consumer_pc = 0x1000;
+    let mut ops = Vec::new();
+    for i in 0..16u64 {
+        let seq = ops.len() as u64;
+        let pc = |k: u64| (seq + k) as u32 * 4;
+        let flipped = i >= 8;
+        // Seed: both producers wait on it (r10/r11 are never written, so
+        // the seed itself has no in-flight dependences).
+        ops.push(DynOp::simple(
+            seq,
+            pc(0),
+            Instr::MulDiv {
+                op: MulOp::Mul,
+                dst: r(5),
+                src1: r(10),
+                src2: r(11),
+                acc: None,
+            },
+        ));
+        // Producers of r1 and r2: one fast add, one slow multiply, both
+        // gated on the seed. While training the multiply writes r2
+        // (operand position 1 arrives last); flipped it writes r1.
+        let slow = |dst: u8| Instr::MulDiv {
+            op: MulOp::Mul,
+            dst: r(dst),
+            src1: r(5),
+            src2: r(11),
+            acc: None,
+        };
+        let fast = |dst: u8| Instr::Alu {
+            op: AluOp::Add,
+            dst: Some(r(dst)),
+            src1: Some(r(5)),
+            op2: Operand2::Imm(7),
+            set_flags: false,
+        };
+        let (a, b) = if flipped {
+            (slow(1), fast(2))
+        } else {
+            (fast(1), slow(2))
+        };
+        ops.push(DynOp::simple(seq + 1, pc(1), a));
+        ops.push(DynOp::simple(seq + 2, pc(2), b));
+        // The two-source consumer, always at the same PC.
+        ops.push(DynOp::simple(
+            seq + 3,
+            consumer_pc,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Some(r(3)),
+                src1: Some(r(1)),
+                op2: Operand2::Reg(r(2)),
+                set_flags: false,
+            },
+        ));
+    }
+    ops.push(DynOp::simple(ops.len() as u64, 0x2000, Instr::Halt));
+
+    let mut sched = SchedulerConfig::redsoc();
+    sched.egpw = false;
+    let mut config = CoreConfig::small().with_sched(sched);
+    config.frontend_width = 4;
+    config.rob_entries = 8;
+    config.rse_entries = 8;
+
+    let mut sink = VecSink::default();
+    let report = simulate_events(ops.iter().copied(), config, &mut sink).expect("run completes");
+    let mispredicts = sink
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, PipeEvent::TagMispredict { .. }))
+        .count();
+    assert!(
+        mispredicts >= 1,
+        "the flipped operand order must trip at least one confident prediction"
+    );
+    assert_eq!(assert_retries_exact(&sink.events), mispredicts);
+    assert_eq!(report.tag_pred.mispredictions, mispredicts as u64);
+}
+
+/// Grandparent-mispeculation retry (unskewed select, §IV-B): a child's
+/// eager-grandparent request is granted in a cycle where its parent lost
+/// ALU arbitration to an older sibling, so the grant is a mispeculation.
+/// The child defers by the penalty; the parent issues one cycle later and
+/// broadcasts at the retry cycle, so the child's non-speculative retry is
+/// granted at exactly `t + penalty`.
+///
+/// Chain: G (3-cycle multiply) → {R, P} (ALU consumers of G, with only
+/// one ALU) → X (SIMD consumer of P, grandparent G). When G broadcasts,
+/// R and P both bid for the single ALU and R (older) wins; X's
+/// speculative grant in the (uncontended) SIMD pool finds P ungranted.
+#[test]
+fn gp_mispeculation_retry_regrants_at_exact_cycle() {
+    let ops = [
+        DynOp::simple(
+            0,
+            0x0,
+            Instr::MulDiv {
+                op: MulOp::Mul,
+                dst: r(1),
+                src1: r(10),
+                src2: r(11),
+                acc: None,
+            },
+        ),
+        DynOp::simple(
+            1,
+            0x4,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Some(r(4)),
+                src1: Some(r(1)),
+                op2: Operand2::Imm(1),
+                set_flags: false,
+            },
+        ),
+        DynOp::simple(
+            2,
+            0x8,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Some(r(2)),
+                src1: Some(r(1)),
+                op2: Operand2::Imm(2),
+                set_flags: false,
+            },
+        ),
+        DynOp::simple(
+            3,
+            0xc,
+            Instr::Simd {
+                op: SimdOp::Vadd,
+                ty: SimdType::I32,
+                dst: r(3),
+                src1: Some(r(2)),
+                src2: None,
+                imm: 0,
+            },
+        ),
+        DynOp::simple(4, 0x10, Instr::Halt),
+    ];
+
+    let mut sched = SchedulerConfig::redsoc();
+    sched.skewed_select = false; // expose GP-mispeculation recovery
+    let mut config = CoreConfig::small().with_sched(sched);
+    config.frontend_width = 4;
+    config.alu_units = 1;
+
+    let mut sink = VecSink::default();
+    let report = simulate_events(ops.iter().copied(), config, &mut sink).expect("run completes");
+    assert_eq!(
+        report.gp_mispeculations, 1,
+        "exactly the crafted mispeculation"
+    );
+    assert!(
+        !sink
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, PipeEvent::TagMispredict { .. })),
+        "no tag predictions are consumed in this chain"
+    );
+    assert_eq!(assert_retries_exact(&sink.events), 1);
+}

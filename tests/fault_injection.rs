@@ -301,6 +301,65 @@ fn sweepcmp_rejects_non_json_input_as_usage_error() {
 }
 
 #[test]
+fn tail_window_kill_after_last_job_loses_nothing_on_resume() {
+    // The narrowest crash window: every job has finished and checkpointed
+    // but the final sweep document has not been written yet. The journal
+    // is fsynced before the document write, so resume must restore every
+    // cell, re-run nothing, and reproduce the reference sweep exactly.
+    let dir = tmp_dir("tailkill");
+    let clean = dir.join("clean.json");
+    let dead = dir.join("dead.json");
+    let resumed = dir.join("resumed.json");
+    let journal = dir.join("sweep.jnl");
+
+    let out = run(redsoc().args(bench_args(&clean)));
+    assert_eq!(exit_code(&out), 0, "reference sweep must succeed: {out:?}");
+    let clean_doc = load_sweep(&clean);
+    let n_cells = rows(&clean_doc).len();
+
+    // Kill after the *last* checkpoint lands — inside the tail window.
+    let out = run(redsoc()
+        .args(bench_args(&dead))
+        .args(["--journal", &journal.display().to_string()])
+        .env("REDSOC_DIE_AFTER_JOBS", n_cells.to_string()));
+    assert_eq!(exit_code(&out), 86, "injected tail kill exits 86: {out:?}");
+    assert!(!dead.exists(), "killed sweep must not write its output");
+
+    let out = run(redsoc()
+        .args(bench_args(&resumed))
+        .args(["--resume", &journal.display().to_string()]));
+    assert_eq!(exit_code(&out), 0, "resumed sweep completes: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resuming from") && stdout.contains(&format!("{n_cells} cell(s)")),
+        "resume restores every checkpoint: {stdout}"
+    );
+    let resumed_doc = load_sweep(&resumed);
+    let restored = rows(&resumed_doc)
+        .iter()
+        .filter(|(_, j)| j.get("restored") == Some(&Json::Bool(true)))
+        .count();
+    assert_eq!(
+        restored, n_cells,
+        "no cell re-runs after a tail-window kill"
+    );
+    assert_eq!(
+        canonicalize_sweep(&clean_doc).pretty(),
+        canonicalize_sweep(&resumed_doc).pretty(),
+        "resumed sweep must match the uninterrupted reference"
+    );
+
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &clean.display().to_string(),
+        &resumed.display().to_string(),
+    ]));
+    assert_eq!(exit_code(&out), 0, "sweepcmp agrees the sweeps match");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fuzz_smoke_run_is_clean_and_byte_reproducible() {
     // A small fixed-seed campaign across all four schedulers: exits 0
     // with no divergences, and the full stdout is byte-stable across
