@@ -93,7 +93,7 @@ impl Job {
     pub fn digest(&self, trace_len: u64) -> String {
         let sched = self.mode.sched(self.bench);
         fnv1a_hex(&format!(
-            "redsoc-bench-sweep/v3|{trace_len}|{}|{:?}|{:?}",
+            "redsoc-bench-sweep/v4|{trace_len}|{}|{:?}|{:?}",
             self.key(),
             self.core,
             sched,
@@ -259,6 +259,7 @@ impl Grid {
     /// in this process, or was a TS job. The figure binaries use this:
     /// they always run fresh, fully-successful grids.
     #[must_use]
+    #[allow(clippy::expect_used)] // panicking accessor by documented contract
     pub fn report(&self, bench: Benchmark, core_name: &str, mode: Mode) -> &SimReport {
         self.get(bench, core_name, mode)
             .unwrap_or_else(|| panic!("grid missing {}/{core_name}/{:?}", bench.name(), mode))
@@ -316,7 +317,7 @@ impl Grid {
     }
 }
 
-/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v3`
+/// Serialise a sweep as the machine-readable `redsoc-bench-sweep/v4`
 /// document written to `BENCH_sweep.json`.
 ///
 /// Per job: benchmark, class, core, mode, the supervision outcome
@@ -387,7 +388,7 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
         .collect();
     let counts = grid.status_counts();
     Json::obj(vec![
-        ("schema", Json::str("redsoc-bench-sweep/v3")),
+        ("schema", Json::str("redsoc-bench-sweep/v4")),
         ("trace_len", Json::num(trace_len as f64)),
         ("threads", Json::num(grid.threads as f64)),
         ("wall_seconds", Json::Num(grid.wall.as_secs_f64())),
@@ -433,6 +434,7 @@ pub fn canonicalize_sweep(doc: &Json) -> Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -10,6 +10,16 @@
 //! wall-clock fields, which are measurement rather than simulation
 //! output).
 //!
+//! Beyond completed cells, the journal can also checkpoint **in-flight
+//! jobs**: a `kind: "snapshot"` line references a binary pipeline
+//! snapshot (see `redsoc_core::pipeline::snapshot`) stored as a sidecar
+//! file under `<journal>.snapdir/`. Payloads are written atomically
+//! (tmp + fsync + rename) *before* their journal line is appended, and
+//! each line records the payload's length and FNV digest, so a crash at
+//! any instant leaves either a fully valid checkpoint or one that
+//! validation rejects. The last two generations per job are retained; a
+//! torn newest generation falls back to the previous one.
+//!
 //! Robustness rules on load:
 //!
 //! - a **truncated trailing line** (no `\n`: the process died mid-write)
@@ -19,7 +29,10 @@
 //!   records may depend on state the corruption hides);
 //! - a record whose **digest** does not match the current configuration
 //!   (different trace length, core table, scheduler tuning, or code
-//!   version) is ignored at lookup time, forcing a fresh run of that cell.
+//!   version) is ignored at lookup time, forcing a fresh run of that cell;
+//! - a **snapshot** whose sidecar payload is missing, short, or fails its
+//!   digest is skipped in favour of the previous generation (or a fresh
+//!   run) — only the torn checkpoint is lost, never the whole journal.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -34,8 +47,15 @@ use crate::supervisor::{stall_labels, CellSummary};
 /// configuration digests: stable across runs, dependency-free, and cheap.
 #[must_use]
 pub fn fnv1a_hex(input: &str) -> String {
+    fnv1a_hex_bytes(input.as_bytes())
+}
+
+/// [`fnv1a_hex`] over raw bytes — the payload digest of snapshot sidecar
+/// files.
+#[must_use]
+pub fn fnv1a_hex_bytes(input: &[u8]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in input.as_bytes() {
+    for b in input {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -158,9 +178,105 @@ impl JournalRecord {
     }
 }
 
+/// A journaled in-flight checkpoint: one `kind: "snapshot"` line pointing
+/// at a binary pipeline-snapshot payload in the journal's sidecar
+/// directory. The line carries enough to validate the payload without
+/// parsing it (length + FNV digest), so a torn sidecar write is detected
+/// and skipped at restore time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRef {
+    /// Job key (`bench/CORE/mode`).
+    pub key: String,
+    /// Digest of the job's effective configuration — stale snapshots are
+    /// ignored exactly like stale completed records.
+    pub digest: String,
+    /// Simulated cycle the snapshot was captured at.
+    pub cycle: u64,
+    /// Payload size in bytes.
+    pub len: u64,
+    /// FNV-1a digest of the payload bytes ([`fnv1a_hex_bytes`]).
+    pub payload_digest: String,
+    /// Sidecar file name within `<journal>.snapdir/`.
+    pub file: String,
+}
+
+impl SnapshotRef {
+    /// Serialise as a single JSON object (one journal line).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("snapshot")),
+            ("key", Json::str(&self.key)),
+            ("digest", Json::str(&self.digest)),
+            ("cycle", Json::num(self.cycle as f64)),
+            ("len", Json::num(self.len as f64)),
+            ("payload_digest", Json::str(&self.payload_digest)),
+            ("file", Json::str(&self.file)),
+        ])
+    }
+
+    /// Parse a snapshot reference back from a journal line's JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<SnapshotRef, String> {
+        let str_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        Ok(SnapshotRef {
+            key: str_field("key")?,
+            digest: str_field("digest")?,
+            cycle: num_field("cycle")? as u64,
+            len: num_field("len")? as u64,
+            payload_digest: str_field("payload_digest")?,
+            file: str_field("file")?,
+        })
+    }
+}
+
+/// One parsed journal line: a completed cell or an in-flight checkpoint.
+fn parse_line(doc: &Json) -> Result<ParsedLine, String> {
+    match doc.get("kind").and_then(Json::as_str) {
+        Some("snapshot") => SnapshotRef::from_json(doc).map(ParsedLine::Snapshot),
+        Some("sim" | "ts") => JournalRecord::from_json(doc).map(ParsedLine::Record),
+        Some(other) => Err(format!("unknown record kind {other:?}")),
+        None => Err("missing record kind".to_owned()),
+    }
+}
+
+enum ParsedLine {
+    Record(JournalRecord),
+    Snapshot(SnapshotRef),
+}
+
+/// Render a journal line: one JSON object, compact, newline-terminated.
+fn render_line(json: &Json) -> String {
+    // One record per line: render compactly by stripping the pretty
+    // emitter's newlines and indentation.
+    let mut line = String::new();
+    for part in json.pretty().lines() {
+        line.push_str(part.trim_start());
+    }
+    line.push('\n');
+    line
+}
+
 struct JournalFile {
     file: File,
     appended: u64,
+    /// Live snapshot generations per key, oldest first (capped at
+    /// [`Journal::SNAPSHOT_GENERATIONS`]; older sidecar files are deleted
+    /// best-effort as new checkpoints land).
+    snap_gens: HashMap<String, Vec<SnapshotRef>>,
 }
 
 /// The append-only sweep journal: completed records loaded at open plus
@@ -189,7 +305,11 @@ impl Journal {
         let file = File::create(&path)?;
         Ok(Journal {
             path,
-            writer: Mutex::new(JournalFile { file, appended: 0 }),
+            writer: Mutex::new(JournalFile {
+                file,
+                appended: 0,
+                snap_gens: HashMap::new(),
+            }),
             restored: HashMap::new(),
             die_after: None,
         })
@@ -215,6 +335,7 @@ impl Journal {
         file.read_to_string(&mut text)?;
 
         let mut restored = HashMap::new();
+        let mut snap_gens: HashMap<String, Vec<SnapshotRef>> = HashMap::new();
         let mut good_bytes = 0usize;
         for chunk in text.split_inclusive('\n') {
             if !chunk.ends_with('\n') {
@@ -222,18 +343,36 @@ impl Journal {
             }
             let parsed = Json::parse(chunk.trim())
                 .ok()
-                .and_then(|doc| JournalRecord::from_json(&doc).ok());
-            let Some(rec) = parsed else {
+                .and_then(|doc| parse_line(&doc).ok());
+            let Some(line) = parsed else {
                 break; // corrupt line: drop it and everything after
             };
-            restored.insert(rec.key.clone(), rec);
+            match line {
+                ParsedLine::Record(rec) => {
+                    // A completed cell supersedes its in-flight
+                    // checkpoints; drop them from the live set.
+                    snap_gens.remove(&rec.key);
+                    restored.insert(rec.key.clone(), rec);
+                }
+                ParsedLine::Snapshot(sref) => {
+                    let gens = snap_gens.entry(sref.key.clone()).or_default();
+                    gens.retain(|g| g.file != sref.file);
+                    gens.push(sref);
+                    let excess = gens.len().saturating_sub(Self::SNAPSHOT_GENERATIONS);
+                    gens.drain(..excess);
+                }
+            }
             good_bytes += chunk.len();
         }
         file.set_len(good_bytes as u64)?;
         file.seek(SeekFrom::Start(good_bytes as u64))?;
         Ok(Journal {
             path,
-            writer: Mutex::new(JournalFile { file, appended: 0 }),
+            writer: Mutex::new(JournalFile {
+                file,
+                appended: 0,
+                snap_gens,
+            }),
             restored,
             die_after: None,
         })
@@ -280,20 +419,22 @@ impl Journal {
     /// Panics if the journal lock is poisoned, which cannot happen: the
     /// critical section below never panics.
     pub fn append(&self, rec: &JournalRecord) -> std::io::Result<()> {
-        let mut line = String::new();
-        let json = rec.to_json();
-        // One record per line: render compactly by stripping the pretty
-        // emitter's newlines and indentation.
-        for part in json.pretty().lines() {
-            line.push_str(part.trim_start());
-        }
-        line.push('\n');
+        let line = render_line(&rec.to_json());
         let mut w = self
             .writer
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         w.file.write_all(line.as_bytes())?;
         w.file.flush()?;
+        // The completed record supersedes the job's in-flight checkpoints:
+        // drop their sidecar files (best-effort — the refs in the journal
+        // are harmless once the record is present).
+        if let Some(gens) = w.snap_gens.remove(&rec.key) {
+            let dir = self.snapdir();
+            for g in gens {
+                std::fs::remove_file(dir.join(&g.file)).ok();
+            }
+        }
         w.appended += 1;
         if self.die_after.is_some_and(|n| w.appended >= n) {
             // Injected mid-sweep death: flush-then-exit models a kill
@@ -326,9 +467,120 @@ impl Journal {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         w.file.sync_all()
     }
+
+    /// In-flight checkpoint generations retained per job. Two, so a crash
+    /// *during* a checkpoint write always leaves the previous one intact.
+    pub const SNAPSHOT_GENERATIONS: usize = 2;
+
+    /// The sidecar directory holding binary snapshot payloads:
+    /// `<journal-path>.snapdir/`.
+    #[must_use]
+    pub fn snapdir(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".snapdir");
+        PathBuf::from(os)
+    }
+
+    /// Journal an in-flight checkpoint for job `key`: write `payload` to
+    /// the sidecar directory (tmp + fsync + rename, so the final file is
+    /// never observed half-written), then append a `kind: "snapshot"`
+    /// line referencing it. Keeps the newest
+    /// [`Self::SNAPSHOT_GENERATIONS`] per job and deletes older sidecars
+    /// best-effort.
+    ///
+    /// Snapshot appends deliberately do **not** advance the
+    /// [`set_die_after`](Self::set_die_after) counter: the injected-kill
+    /// tests count *completed cells*, and checkpoint cadence must not
+    /// perturb where the kill lands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (callers downgrade to a warning: losing a
+    /// checkpoint must not fail the job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal lock is poisoned, which cannot happen: the
+    /// critical section never panics.
+    pub fn record_snapshot(
+        &self,
+        key: &str,
+        digest: &str,
+        cycle: u64,
+        payload: &[u8],
+    ) -> std::io::Result<()> {
+        let dir = self.snapdir();
+        std::fs::create_dir_all(&dir)?;
+        let file_name = format!("{}-{cycle}.rsnp", key.replace('/', "_"));
+        let tmp_path = dir.join(format!("{file_name}.tmp"));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, dir.join(&file_name))?;
+        let sref = SnapshotRef {
+            key: key.to_string(),
+            digest: digest.to_string(),
+            cycle,
+            len: payload.len() as u64,
+            payload_digest: fnv1a_hex_bytes(payload),
+            file: file_name,
+        };
+        let line = render_line(&sref.to_json());
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        w.file.write_all(line.as_bytes())?;
+        w.file.flush()?;
+        let gens = w.snap_gens.entry(key.to_string()).or_default();
+        gens.retain(|g| g.file != sref.file);
+        gens.push(sref);
+        while gens.len() > Self::SNAPSHOT_GENERATIONS {
+            let old = gens.remove(0);
+            std::fs::remove_file(dir.join(&old.file)).ok();
+        }
+        Ok(())
+    }
+
+    /// The newest restorable checkpoint for job `key` whose configuration
+    /// digest matches: reads the sidecar payload and validates its length
+    /// and FNV digest against the journal line, falling back one
+    /// generation if the newest is torn, missing, or short. Returns the
+    /// capture cycle and the raw snapshot blob, or `None` when no valid
+    /// checkpoint survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal lock is poisoned, which cannot happen: the
+    /// critical section never panics.
+    #[must_use]
+    pub fn latest_snapshot(&self, key: &str, digest: &str) -> Option<(u64, Vec<u8>)> {
+        let dir = self.snapdir();
+        let w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gens = w.snap_gens.get(key)?;
+        for sref in gens.iter().rev() {
+            if sref.digest != digest {
+                continue; // stale configuration: unusable
+            }
+            let Ok(payload) = std::fs::read(dir.join(&sref.file)) else {
+                continue; // sidecar missing: fall back a generation
+            };
+            if payload.len() as u64 == sref.len && fnv1a_hex_bytes(&payload) == sref.payload_digest
+            {
+                return Some((sref.cycle, payload));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -465,5 +717,133 @@ mod tests {
         assert_eq!(fnv1a_hex("abc"), fnv1a_hex("abc"));
         assert_ne!(fnv1a_hex("abc"), fnv1a_hex("abd"));
         assert_eq!(fnv1a_hex("").len(), 16);
+    }
+
+    fn cleanup(path: &Path) {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".snapdir");
+        std::fs::remove_dir_all(PathBuf::from(os)).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn snapshots_round_trip_across_resume() {
+        let path = tmp("snap-roundtrip");
+        let j = Journal::create(&path).expect("create");
+        j.record_snapshot("a/BIG/redsoc", "d1", 1024, b"blob-one")
+            .expect("snapshot");
+        j.record_snapshot("a/BIG/redsoc", "d1", 2048, b"blob-two")
+            .expect("snapshot");
+        // In-process lookup sees the newest generation.
+        let (cycle, payload) = j.latest_snapshot("a/BIG/redsoc", "d1").expect("hit");
+        assert_eq!((cycle, payload.as_slice()), (2048, b"blob-two".as_slice()));
+        drop(j);
+
+        // So does a resumed process.
+        let j = Journal::resume(&path).expect("resume");
+        let (cycle, payload) = j.latest_snapshot("a/BIG/redsoc", "d1").expect("hit");
+        assert_eq!((cycle, payload.as_slice()), (2048, b"blob-two".as_slice()));
+        assert!(
+            j.latest_snapshot("a/BIG/redsoc", "other").is_none(),
+            "stale digest must be unusable"
+        );
+        assert!(j.latest_snapshot("missing/key", "d1").is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn generations_are_capped_and_pruned() {
+        let path = tmp("snap-gens");
+        let j = Journal::create(&path).expect("create");
+        for cycle in [1024u64, 2048, 3072] {
+            j.record_snapshot(
+                "a/BIG/redsoc",
+                "d1",
+                cycle,
+                format!("blob-{cycle}").as_bytes(),
+            )
+            .expect("snapshot");
+        }
+        let files: Vec<_> = std::fs::read_dir(j.snapdir())
+            .expect("snapdir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        assert_eq!(files.len(), Journal::SNAPSHOT_GENERATIONS, "{files:?}");
+        assert!(
+            !files.iter().any(|f| f.contains("-1024.")),
+            "oldest generation pruned: {files:?}"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_payload_falls_back_a_generation() {
+        let path = tmp("snap-torn");
+        let j = Journal::create(&path).expect("create");
+        j.record_snapshot("a/BIG/redsoc", "d1", 1024, b"good-old")
+            .expect("snapshot");
+        j.record_snapshot("a/BIG/redsoc", "d1", 2048, b"good-new")
+            .expect("snapshot");
+        let newest = j.snapdir().join("a_BIG_redsoc-2048.rsnp");
+        // Tear the newest sidecar (short write), as a crash mid-write
+        // would — except rename makes that impossible in real operation;
+        // this models a corrupted disk block instead.
+        std::fs::write(&newest, b"good").expect("tear");
+        drop(j);
+
+        let j = Journal::resume(&path).expect("resume");
+        let (cycle, payload) = j.latest_snapshot("a/BIG/redsoc", "d1").expect("fallback");
+        assert_eq!((cycle, payload.as_slice()), (1024, b"good-old".as_slice()));
+
+        // Destroy the old generation too: no valid checkpoint survives.
+        std::fs::remove_file(j.snapdir().join("a_BIG_redsoc-1024.rsnp")).expect("rm");
+        assert!(j.latest_snapshot("a/BIG/redsoc", "d1").is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_line_keeps_preceding_records() {
+        let path = tmp("snap-truncline");
+        let j = Journal::create(&path).expect("create");
+        j.append(&rec("a/BIG/redsoc", "d", 100)).expect("append");
+        j.record_snapshot("b/BIG/redsoc", "d", 1024, b"blob")
+            .expect("snapshot");
+        drop(j);
+        // Chop the file mid-way through the snapshot line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 9]).expect("truncate");
+
+        let j = Journal::resume(&path).expect("resume");
+        assert!(
+            j.lookup("a/BIG/redsoc", "d").is_some(),
+            "completed record before the torn snapshot line survives"
+        );
+        assert!(
+            j.latest_snapshot("b/BIG/redsoc", "d").is_none(),
+            "the torn snapshot reference is dropped"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn completed_record_supersedes_and_discards_snapshots() {
+        let path = tmp("snap-supersede");
+        let j = Journal::create(&path).expect("create");
+        j.record_snapshot("a/BIG/redsoc", "d", 1024, b"blob")
+            .expect("snapshot");
+        j.append(&rec("a/BIG/redsoc", "d", 100)).expect("append");
+        assert!(
+            j.latest_snapshot("a/BIG/redsoc", "d").is_none(),
+            "completion discards the job's checkpoints"
+        );
+        assert!(
+            !j.snapdir().join("a_BIG_redsoc-1024.rsnp").exists(),
+            "sidecar file deleted"
+        );
+        drop(j);
+        let j = Journal::resume(&path).expect("resume");
+        assert!(j.lookup("a/BIG/redsoc", "d").is_some());
+        assert!(j.latest_snapshot("a/BIG/redsoc", "d").is_none());
+        cleanup(&path);
     }
 }

@@ -336,7 +336,8 @@ impl Parser<'_> {
         {
             self.i += 1;
         }
-        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| format!("non-UTF-8 number at byte {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -344,6 +345,7 @@ impl Parser<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -26,6 +26,7 @@
 //!   `cargo bench` targets.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod grid;
 pub mod journal;
@@ -257,6 +258,7 @@ pub fn mean(values: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

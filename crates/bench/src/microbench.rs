@@ -48,6 +48,7 @@ pub fn bench<R>(name: &str, elems: u64, mut f: impl FnMut() -> R) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

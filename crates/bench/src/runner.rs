@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
 use redsoc_core::events::RingSink;
-use redsoc_core::pipeline::{CancelToken, SimError, Simulator};
+use redsoc_core::pipeline::{CancelToken, CheckpointPlan, SimError, Simulator};
 use redsoc_core::sched::ts::run_ts;
 use redsoc_core::stats::StallCause;
 use redsoc_isa::instruction::Instr;
@@ -85,6 +85,9 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // The scoped-thread join above guarantees every slot was
+            // written exactly once; an empty slot is a harness bug.
+            #[allow(clippy::expect_used)]
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .expect("all slots filled")
@@ -137,21 +140,79 @@ fn classify_sim_error(
     }
 }
 
+/// Checkpoint context for one supervised sim attempt: which journal the
+/// snapshots go to and the identity they carry.
+struct SnapCtx<'a> {
+    journal: &'a Journal,
+    key: &'a str,
+    digest: &'a str,
+    /// Checkpoint cadence in simulated cycles (pre-rounding; see
+    /// [`CheckpointPlan::new`]).
+    every: u64,
+}
+
 /// One attempt of a simulator-mode job (never [`Mode::Ts`]).
+///
+/// With a [`SnapCtx`], the attempt first tries to resume from the newest
+/// valid journaled checkpoint (an unusable one — torn, stale code, wrong
+/// trace — degrades to a fresh run with a warning, never a failure), and
+/// emits new checkpoints at the requested cadence as it runs. Without
+/// one, the run takes the plan-less hot path: zero checkpoint
+/// bookkeeping, byte-identical to pre-snapshot builds.
 fn sim_attempt(
     cache: &TraceCache,
     job: &Job,
     sched: SchedulerConfig,
     sup: &SupervisorConfig,
+    snap: Option<&SnapCtx<'_>>,
 ) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
     let trace = cache.get(job.bench);
     let config = job.core.clone().with_sched(sched);
     let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
-    let mut sim = Simulator::new(config).map_err(|e| (JobError::Sim(e), Vec::new()))?;
+
+    // Mid-job restore: resume from the newest restorable checkpoint.
+    let restored = snap.and_then(|s| {
+        let (cycle, blob) = s.journal.latest_snapshot(s.key, s.digest)?;
+        match Simulator::restore(config.clone(), &blob, &trace) {
+            Ok(resumed) => Some(resumed),
+            Err(e) => {
+                eprintln!(
+                    "warning: discarding unusable checkpoint for {} (cycle {cycle}): {e}",
+                    s.key
+                );
+                None
+            }
+        }
+    });
+    let (mut sim, cursor) = match restored {
+        Some((sim, cursor)) => (sim, cursor as usize),
+        None => (
+            Simulator::new(config).map_err(|e| (JobError::Sim(e), Vec::new()))?,
+            0,
+        ),
+    };
     if let Some(budget) = sup.job_timeout_cycles {
+        // The budget is in absolute simulated cycles, so a restored run
+        // trips the watchdog at exactly the same cycle a fresh one would.
         sim = sim.with_cancel(CancelToken::with_budget(budget));
     }
-    match sim.run_events(trace.iter().copied(), &mut ring) {
+
+    let rest = trace[cursor..].iter().copied();
+    let outcome = match snap {
+        Some(s) => {
+            let mut save = |cycle: u64, payload: Vec<u8>| {
+                if let Err(e) = s.journal.record_snapshot(s.key, s.digest, cycle, &payload) {
+                    eprintln!(
+                        "warning: failed to checkpoint {} at cycle {cycle}: {e}",
+                        s.key
+                    );
+                }
+            };
+            sim.run_events_checkpointed(rest, &mut ring, CheckpointPlan::new(s.every, &mut save))
+        }
+        None => sim.run_events(rest, &mut ring),
+    };
+    match outcome {
         Ok(report) => {
             let summary = CellSummary::Sim {
                 cycles: report.cycles,
@@ -165,7 +226,8 @@ fn sim_attempt(
 }
 
 /// One attempt of the injected-hang fault: run the endless stream under
-/// the same watchdog a real job gets.
+/// the same watchdog a real job gets. Never snapshots — a hung job's
+/// checkpoints would only preserve the hang across resume.
 fn hang_attempt(
     job: &Job,
     sup: &SupervisorConfig,
@@ -195,7 +257,9 @@ fn hang_attempt(
 }
 
 /// One attempt of a TS job, given the measured baseline (cycles,
-/// committed).
+/// committed). Never snapshots: the analysis re-runs a baseline-policy
+/// pipeline under a rescaled clock and is cheap relative to the sweep —
+/// its crash-safety unit is the completed cell record.
 fn ts_attempt(
     cache: &TraceCache,
     job: &Job,
@@ -266,7 +330,21 @@ fn exec_cell(
                     Vec::new(),
                 )),
                 (_, _) => match job.mode.sched(job.bench) {
-                    Some(sched) => sim_attempt(cache, job, sched, sup),
+                    Some(sched) => {
+                        // Snapshotting needs both an interval and a journal
+                        // to write into; the CLI enforces that pairing, and
+                        // library callers simply get no checkpoints.
+                        let snap = match (sup.snapshot_interval, journal) {
+                            (Some(every), Some(journal)) => Some(SnapCtx {
+                                journal,
+                                key: &key,
+                                digest: &digest,
+                                every,
+                            }),
+                            _ => None,
+                        };
+                        sim_attempt(cache, job, sched, sup, snap.as_ref())
+                    }
                     None => Err((
                         JobError::Sim(SimError::BadConfig(format!(
                             "mode {} has no scheduler",
@@ -469,6 +547,7 @@ pub fn run_full_sweep(cache: &TraceCache, modes: &[Mode], threads: usize) -> Gri
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::supervisor::FaultPlan;

@@ -19,7 +19,7 @@ fn full_sweep_json_is_complete_and_sane() {
     let doc = Json::parse(&text).expect("sweep JSON parses back");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("redsoc-bench-sweep/v3")
+        Some("redsoc-bench-sweep/v4")
     );
     assert_eq!(
         doc.get("trace_len").and_then(Json::as_num),

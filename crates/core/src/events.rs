@@ -322,6 +322,7 @@ impl<W: Write> JsonlSink<W> {
     /// # Panics
     ///
     /// Panics if the final flush fails.
+    #[allow(clippy::expect_used)] // documented panic: a sink cannot return I/O errors
     pub fn finish(mut self) -> W {
         self.out.flush().expect("event sink flush");
         self.out
@@ -391,6 +392,10 @@ fn jsonl_line(buf: &mut String, cycle: u64, ev: &PipeEvent) {
 }
 
 impl<W: Write> EventSink for JsonlSink<W> {
+    // `EventSink::record` has no error channel (the per-cycle hot path
+    // stays Result-free); a failed trace write aborts loudly rather than
+    // silently dropping events.
+    #[allow(clippy::expect_used)]
     fn record(&mut self, cycle: u64, ev: &PipeEvent) {
         jsonl_line(&mut self.buf, cycle, ev);
         self.buf.push('\n');
@@ -593,6 +598,7 @@ impl EventSink for ChromeTraceSink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

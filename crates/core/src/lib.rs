@@ -57,6 +57,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod branch;
 pub mod config;
@@ -73,13 +74,17 @@ pub mod prelude {
     pub use crate::events::{
         ChromeTraceSink, EventSink, JsonlSink, NullSink, PipeEvent, RingSink, VecSink,
     };
-    pub use crate::pipeline::{simulate, simulate_events, CancelToken, SimError, Simulator};
+    pub use crate::pipeline::snapshot::SnapshotError;
+    pub use crate::pipeline::{
+        simulate, simulate_events, CancelToken, CheckpointPlan, SimError, Simulator,
+    };
     pub use crate::sched::ts::{run_ts, TsResult};
     pub use crate::sched::{build_scheduler, Scheduler, SelectRequest};
     pub use crate::stats::{ChainStats, OpCategory, OpMix, SimReport, StallBreakdown, StallCause};
 }
 
 pub use config::{CoreConfig, SchedMode, SchedulerConfig};
-pub use pipeline::{simulate, simulate_events, CancelToken, SimError, Simulator};
+pub use pipeline::snapshot::SnapshotError;
+pub use pipeline::{simulate, simulate_events, CancelToken, CheckpointPlan, SimError, Simulator};
 pub use sched::Scheduler;
 pub use stats::SimReport;

@@ -6,6 +6,13 @@
 //! extension point for designs that train predictors on observed
 //! completion behaviour.
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use redsoc_isa::instruction::Instr;
 use redsoc_timing::slack::WidthClass;
 

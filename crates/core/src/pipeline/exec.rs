@@ -8,6 +8,13 @@
 //! [`Scheduler::transparent_pair`]. Everything else here is fixed
 //! mechanism shared by every scheduler.
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use redsoc_isa::instruction::Instr;
 use redsoc_isa::opcode::{ExecClass, SimdOp};
 use redsoc_isa::trace::DynOp;

@@ -7,6 +7,13 @@
 //! two-unresolved-source entry onto a predicted-last tag (the operational
 //! RSE design, §IV-C) or stores all tags for conventional wakeup.
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use redsoc_isa::instruction::Instr;
 use redsoc_isa::opcode::{Cond, ExecClass, SimdOp};
 use redsoc_isa::reg::ArchReg;

@@ -11,6 +11,13 @@
 //! [`Scheduler::on_issue`] times recyclable completions and
 //! [`Scheduler::post_issue`] may fuse dependents into the same cycle.
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::events::{EventSink, PipeEvent};
 use crate::sched::{IssueArgs, Scheduler, SelectRequest};
 use crate::tag_pred::LastArrival;

@@ -44,6 +44,7 @@ pub mod commit;
 pub mod exec;
 pub mod frontend;
 pub mod issue;
+pub mod snapshot;
 pub mod state;
 pub mod wakeup;
 
@@ -60,6 +61,7 @@ use crate::events::{EventSink, NullSink, PipeEvent};
 use crate::sched::{build_scheduler, Scheduler};
 use crate::stats::{SimReport, StallCause};
 
+use snapshot::SnapshotError;
 use state::PipelineState;
 
 /// Simulation errors.
@@ -186,6 +188,46 @@ impl CancelToken {
     }
 }
 
+/// Periodic checkpointing for a simulation run: every `every` cycles
+/// (rounded up to a multiple of the 1024-cycle poll stride, so the hot
+/// loop gains no new per-cycle branch), the run captures a full
+/// [`snapshot`] and hands it to `save` together with the cycle it was
+/// taken at.
+///
+/// Checkpoint cycles are **absolute**: a run restored from cycle *C*
+/// checkpoints at exactly the same cycles an uninterrupted run does, so
+/// later checkpoints of the two runs are byte-identical — the property
+/// the chaos harness and the equivalence tests lean on.
+pub struct CheckpointPlan<'a> {
+    every: u64,
+    save: &'a mut dyn FnMut(u64, Vec<u8>),
+}
+
+impl<'a> CheckpointPlan<'a> {
+    /// A plan that snapshots every `every_cycles` cycles (rounded up to a
+    /// multiple of 1024) into `save(cycle, blob)`.
+    pub fn new(every_cycles: u64, save: &'a mut dyn FnMut(u64, Vec<u8>)) -> Self {
+        CheckpointPlan {
+            every: every_cycles.max(1).next_multiple_of(1024),
+            save,
+        }
+    }
+
+    /// The effective interval after rounding.
+    #[must_use]
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+}
+
+impl core::fmt::Debug for CheckpointPlan<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CheckpointPlan")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The simulator: pipeline state plus the scheduling policy driving it.
 /// Construct with [`Simulator::new`] (policy chosen by
 /// `config.sched.mode`) or [`Simulator::with_scheduler`] (any
@@ -260,6 +302,74 @@ impl Simulator {
         self
     }
 
+    /// Serialize the complete simulator state (pipeline + scheduler) into
+    /// a self-checking binary snapshot (see [`snapshot`] for the format
+    /// and the completeness contract).
+    ///
+    /// Only meaningful at a cycle boundary — i.e. on a simulator that is
+    /// not currently inside a `run` call, such as one about to start or
+    /// one captured through a [`CheckpointPlan`] (which invokes the same
+    /// encoder at the top of the cycle).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        snapshot::encode(&self.state, &*self.sched)
+    }
+
+    /// Rebuild a mid-run simulator from a snapshot `blob`, rehydrating
+    /// in-flight ops from `trace` (the same full trace the original run
+    /// consumed, starting at seq 0). The scheduler is rebuilt from
+    /// `config.sched.mode` as [`Simulator::new`] does.
+    ///
+    /// Returns the simulator and the **trace cursor**: resume the run by
+    /// feeding `trace[cursor..]` to [`Simulator::run`] /
+    /// [`Simulator::run_events`]. The resumed run produces exactly the
+    /// event stream, statistics and final report of the uninterrupted
+    /// original.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: a torn or corrupt blob, a version or
+    /// config/scheduler mismatch, or a `trace` that does not contain the
+    /// ops the snapshot's window references.
+    pub fn restore(
+        config: CoreConfig,
+        blob: &[u8],
+        trace: &[DynOp],
+    ) -> Result<(Self, u64), SnapshotError> {
+        let sched = build_scheduler(&config.sched);
+        Simulator::restore_with_scheduler(config, sched, blob, trace)
+    }
+
+    /// [`Simulator::restore`] with an explicit [`Scheduler`] — the
+    /// restore-side counterpart of [`Simulator::with_scheduler`], for
+    /// policies not reachable through `config.sched.mode` (e.g. the TS
+    /// scheduler or external implementations). The scheduler's own
+    /// [`Scheduler::restore`] hook receives the private blob captured by
+    /// its [`Scheduler::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::restore`]; an invalid `config` is reported as
+    /// [`SnapshotError::Corrupt`].
+    pub fn restore_with_scheduler(
+        config: CoreConfig,
+        mut sched: Box<dyn Scheduler>,
+        blob: &[u8],
+        trace: &[DynOp],
+    ) -> Result<(Self, u64), SnapshotError> {
+        let mut state = PipelineState::new(config)
+            .map_err(|e| SnapshotError::Corrupt(format!("cannot rebuild pipeline: {e}")))?;
+        let cursor = snapshot::decode_into(&mut state, sched.as_mut(), blob, trace)?;
+        Ok((
+            Simulator {
+                state,
+                sched,
+                cancel: CancelToken::new(),
+            },
+            cursor,
+        ))
+    }
+
     /// Run the trace to completion and return the report.
     ///
     /// This is the [`NullSink`] specialisation of the single generic
@@ -289,8 +399,35 @@ impl Simulator {
     /// progress; the error carries `sink.recent()` as a diagnostic.
     pub fn run_events<S: EventSink>(
         self,
+        trace: impl Iterator<Item = DynOp>,
+        sink: &mut S,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(trace, sink, None)
+    }
+
+    /// Run the trace with periodic snapshot checkpoints (see
+    /// [`CheckpointPlan`]). Identical to [`Simulator::run_events`] when
+    /// the plan never fires; with checkpointing off entirely, use
+    /// `run_events` — the plan-less path has no checkpoint bookkeeping on
+    /// the per-cycle hot path at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] exactly as [`Simulator::run_events`] does.
+    pub fn run_events_checkpointed<S: EventSink>(
+        self,
+        trace: impl Iterator<Item = DynOp>,
+        sink: &mut S,
+        plan: CheckpointPlan<'_>,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(trace, sink, Some(plan))
+    }
+
+    fn run_inner<S: EventSink>(
+        self,
         mut trace: impl Iterator<Item = DynOp>,
         sink: &mut S,
+        mut checkpoint: Option<CheckpointPlan<'_>>,
     ) -> Result<SimReport, SimError> {
         let Simulator {
             mut state,
@@ -298,18 +435,36 @@ impl Simulator {
             cancel,
         } = self;
         let sched = &*sched;
-        let mut last_progress_cycle = 0u64;
-        let mut last_committed = 0u64;
+        // A restored simulator resumes mid-run: progress tracking starts
+        // from the restored position (equals 0/0 for a fresh run).
+        let mut last_progress_cycle = state.cycle;
+        let mut last_committed = state.committed_total;
+        // Checkpoints fire only strictly after the entry cycle, so a
+        // freshly restored run does not immediately re-save the
+        // checkpoint it came from.
+        let entry_cycle = state.cycle;
         loop {
-            // Cooperative cancellation: polled every 1024 cycles so the
-            // hot loop stays branch-predictable and watchdog budgets are
-            // still observed within a rounding error of their value.
-            if state.cycle & 0x3FF == 0 && cancel.should_stop(state.cycle) {
-                return Err(SimError::Cancelled {
-                    cycle: state.cycle,
-                    committed: state.committed_total,
-                    recent_events: sink.recent(),
-                });
+            // Cooperative cancellation and checkpointing: polled every
+            // 1024 cycles so the hot loop stays branch-predictable and
+            // watchdog budgets are still observed within a rounding error
+            // of their value.
+            if state.cycle & 0x3FF == 0 {
+                if cancel.should_stop(state.cycle) {
+                    return Err(SimError::Cancelled {
+                        cycle: state.cycle,
+                        committed: state.committed_total,
+                        recent_events: sink.recent(),
+                    });
+                }
+                // Capture happens at the top of the cycle, before any of
+                // the cycle's stages (including an epoch recalibration
+                // that may land on the same cycle) — the restored run
+                // re-executes the cycle from the same point.
+                if let Some(plan) = checkpoint.as_mut() {
+                    if state.cycle > entry_cycle && state.cycle.is_multiple_of(plan.every) {
+                        (plan.save)(state.cycle, snapshot::encode(&state, sched));
+                    }
+                }
             }
             // CPM-driven LUT recalibration at epoch boundaries (§V).
             if state.config.sched.pvt_guard_band && state.cycle.is_multiple_of(EPOCH_CYCLES) {
@@ -442,6 +597,7 @@ pub fn simulate_events<S: EventSink>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::SchedulerConfig;
@@ -571,6 +727,121 @@ mod tests {
             .run(trace.into_iter())
             .expect("no budget, no cancel: must complete");
         assert_eq!(rep.committed, 2_001);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_restores_identically() {
+        let trace = logic_chain_trace(20_000);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+
+        let full = Simulator::new(config.clone())
+            .expect("valid config")
+            .run(trace.iter().copied())
+            .expect("plain run");
+
+        let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut save = |cycle: u64, blob: Vec<u8>| snaps.push((cycle, blob));
+        let checkpointed = Simulator::new(config.clone())
+            .expect("valid config")
+            .run_events_checkpointed(
+                trace.iter().copied(),
+                &mut NullSink,
+                CheckpointPlan::new(1024, &mut save),
+            )
+            .expect("checkpointed run");
+        assert_eq!(full, checkpointed, "checkpointing must not perturb the run");
+        assert!(snaps.len() >= 2, "expected several checkpoints");
+
+        // Restore from a mid-run checkpoint and run the tail: the final
+        // report must be identical to the uninterrupted run's.
+        let (cycle, blob) = snaps[snaps.len() / 2].clone();
+        let (sim, cursor) = Simulator::restore(config.clone(), &blob, &trace).expect("restore");
+        assert_eq!(sim.state.cycle, cycle);
+        let resumed = sim
+            .run(
+                trace[usize::try_from(cursor).expect("cursor fits")..]
+                    .iter()
+                    .copied(),
+            )
+            .expect("resumed run");
+        assert_eq!(full, resumed, "restored run diverged");
+
+        // A restored run checkpointing at the same absolute interval must
+        // reproduce the later checkpoints byte-for-byte.
+        let (first_cycle, first_blob) = snaps[0].clone();
+        let (sim, cursor) = Simulator::restore(config, &first_blob, &trace).expect("restore first");
+        let mut resnap: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut save2 = |cycle: u64, blob: Vec<u8>| resnap.push((cycle, blob));
+        sim.run_events_checkpointed(
+            trace[usize::try_from(cursor).expect("cursor fits")..]
+                .iter()
+                .copied(),
+            &mut NullSink,
+            CheckpointPlan::new(1024, &mut save2),
+        )
+        .expect("resumed checkpointed run");
+        let tail: Vec<(u64, Vec<u8>)> = snaps
+            .iter()
+            .filter(|(c, _)| *c > first_cycle)
+            .cloned()
+            .collect();
+        assert_eq!(tail, resnap, "resumed checkpoints must be byte-identical");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_corruption() {
+        let trace = logic_chain_trace(4_000);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+        let sim = Simulator::new(config.clone()).expect("valid config");
+        let blob = sim.snapshot();
+
+        // Different scheduler mode → different config digest.
+        let other = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+        assert_eq!(
+            Simulator::restore(other, &blob, &trace).err(),
+            Some(snapshot::SnapshotError::ConfigMismatch)
+        );
+
+        // A flipped byte fails the integrity digest.
+        let mut torn = blob.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x10;
+        assert_eq!(
+            Simulator::restore(config.clone(), &torn, &trace).err(),
+            Some(snapshot::SnapshotError::DigestMismatch)
+        );
+
+        // A truncated blob never parses.
+        assert!(Simulator::restore(config.clone(), &blob[..blob.len() / 2], &trace).is_err());
+
+        // Not a snapshot at all.
+        assert_eq!(
+            Simulator::restore(config, b"definitely not a snapshot", &trace).err(),
+            Some(snapshot::SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_trace() {
+        let trace = logic_chain_trace(6_000);
+        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+        let mut snaps: Vec<Vec<u8>> = Vec::new();
+        let mut save = |_cycle: u64, blob: Vec<u8>| snaps.push(blob);
+        Simulator::new(config.clone())
+            .expect("valid config")
+            .run_events_checkpointed(
+                trace.iter().copied(),
+                &mut NullSink,
+                CheckpointPlan::new(1024, &mut save),
+            )
+            .expect("checkpointed run");
+        let blob = snaps.first().expect("at least one checkpoint");
+        // A shorter trace cannot rehydrate the in-flight window.
+        let short = logic_chain_trace(10);
+        assert!(matches!(
+            Simulator::restore(config, blob, &short).err(),
+            Some(snapshot::SnapshotError::TraceMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Byte-level framing for pipeline snapshots.
+//!
+//! Fixed-width little-endian primitives with a trailing FNV-1a digest —
+//! deliberately boring. The format is versioned and self-checking but
+//! *not* self-describing: decode order must mirror encode order exactly,
+//! which is why both live next to each other in this module tree.
+
+use super::SnapshotError;
+
+/// Snapshot file magic ("RSNP").
+pub(super) const MAGIC: [u8; 4] = *b"RSNP";
+
+/// Current snapshot format version.
+pub(super) const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit over `bytes` — the same digest family the bench journal
+/// uses, kept dependency-free.
+#[must_use]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only snapshot encoder.
+pub(super) struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    pub(super) fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    pub(super) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(super) fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub(super) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(super) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(super) fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    pub(super) fn bytes(&mut self, v: &[u8]) {
+        self.len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Raw bytes with no length prefix (fixed-size fields like the magic).
+    pub(super) fn bytes_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A collection length (u32 on the wire; simulated structures never
+    /// approach 4G entries).
+    pub(super) fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).unwrap_or(u32::MAX));
+    }
+
+    pub(super) fn u64_slice(&mut self, v: &[u64]) {
+        self.len(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Seal the snapshot: append the FNV-1a digest of everything written
+    /// so far and return the finished buffer.
+    pub(super) fn finish(mut self) -> Vec<u8> {
+        let digest = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&digest.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Cursor-based snapshot decoder. Every read is bounds-checked and
+/// returns [`SnapshotError::Truncated`] past the end.
+pub(super) struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Verify the trailing digest of `blob` and return a reader over the
+    /// payload (digest excluded).
+    pub(super) fn checked(blob: &'a [u8]) -> Result<Self, SnapshotError> {
+        if blob.len() < 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let (payload, tail) = blob.split_at(blob.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().map_err(|_| SnapshotError::Truncated)?);
+        if fnv1a(payload) != stored {
+            return Err(SnapshotError::DigestMismatch);
+        }
+        Ok(SnapReader {
+            buf: payload,
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(super) fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Raw bytes with no length prefix (fixed-size fields like the magic).
+    pub(super) fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
+    }
+
+    pub(super) fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub(super) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(
+            b.try_into().map_err(|_| SnapshotError::Truncated)?,
+        ))
+    }
+
+    pub(super) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(
+            b.try_into().map_err(|_| SnapshotError::Truncated)?,
+        ))
+    }
+
+    pub(super) fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            b => Err(SnapshotError::Corrupt(format!("bad option byte {b}"))),
+        }
+    }
+
+    /// A collection length, sanity-capped so a corrupt length cannot
+    /// trigger a huge allocation before the next bounds check fires.
+    pub(super) fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "length {n} exceeds snapshot size"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(super) fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    pub(super) fn u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Whether every payload byte has been consumed — decode asserts this
+    /// so format drift between encode and decode fails loudly.
+    pub(super) fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        w.bytes(b"hello");
+        w.u64_slice(&[1, 2, 3]);
+        let blob = w.finish();
+
+        let mut r = SnapReader::checked(&blob).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn flipped_bit_fails_digest() {
+        let mut w = SnapWriter::new();
+        w.u64(0x1234_5678_9ABC_DEF0);
+        let mut blob = w.finish();
+        blob[3] ^= 0x40;
+        assert!(matches!(
+            SnapReader::checked(&blob),
+            Err(SnapshotError::DigestMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapWriter::new();
+        w.u64_slice(&[9; 16]);
+        let blob = w.finish();
+        // Chopping anywhere must yield Truncated or DigestMismatch, never
+        // a panic or silent success.
+        for cut in 0..blob.len() {
+            let r = SnapReader::checked(&blob[..cut]);
+            assert!(r.is_err() || cut == blob.len());
+        }
+    }
+
+    #[test]
+    fn reads_past_end_are_truncated() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        let blob = w.finish();
+        let mut r = SnapReader::checked(&blob).unwrap();
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.u64(), Err(SnapshotError::Truncated)));
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic snapshot/restore of the full in-flight pipeline.
+//!
+//! A snapshot captures *everything* the simulation loop reads in later
+//! cycles: the in-flight window (IFO entries, RAT, store-sequence index,
+//! fetch queue), the functional-unit pools, the event-driven wakeup
+//! structures (per-pool ready sets, timer wheel, far-future overflow,
+//! broadcast subscriptions), all predictor tables (width, tag, branch),
+//! the memory hierarchy (cache tag arrays, prefetcher), the PVT/LUT
+//! recalibration epoch state, and the accumulated statistics. Scheduler
+//! *policy* state rides along through [`Scheduler::snapshot`] /
+//! [`Scheduler::restore`](crate::sched::Scheduler::restore) — the
+//! contract is that anything a scheduler mutates after construction must
+//! round-trip, and an empty blob is correct for stateless policies (all
+//! four in-tree schedulers).
+//!
+//! What is deliberately *not* serialized, because it is reconstructible:
+//!
+//! - the trace itself — in-flight ops are rehydrated by sequence number
+//!   from the caller-supplied trace slice, verified via
+//!   [`SnapshotError::TraceMismatch`];
+//! - configuration-derived constants (`quant`, `base_lut`,
+//!   multi-cycle latencies) — rebuilt by `PipelineState::new`;
+//! - per-cycle scratch buffers (select requests, grant lists) that are
+//!   empty at every cycle boundary, the only capture point.
+//!
+//! # Wire format
+//!
+//! `"RSNP"` magic, a format version, a config digest (FNV-1a over the
+//! `Debug` rendering of the [`CoreConfig`](crate::config::CoreConfig)
+//! plus the scheduler name — restores into a different configuration are
+//! rejected up front), the state sections in a fixed order, and a
+//! trailing FNV-1a digest over all preceding bytes. Torn or bit-flipped
+//! blobs fail the digest check before any field is interpreted; the
+//! bench journal uses that property to discard a checkpoint torn by a
+//! mid-write crash and fall back to the previous good one.
+//!
+//! Snapshots taken at the top of a cycle boundary restore to a simulator
+//! that replays the *identical* remaining event stream: the resumed run
+//! re-executes any recalibration or checkpoint hook for the restored
+//! cycle exactly as the uninterrupted run did.
+
+mod codec;
+mod decode;
+mod encode;
+
+use std::error::Error;
+use std::fmt;
+
+pub(crate) use codec::fnv1a;
+pub(crate) use decode::decode_into;
+pub(crate) use encode::encode;
+
+use crate::config::CoreConfig;
+
+/// Why a snapshot blob could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob ends before a complete record was read (torn write).
+    Truncated,
+    /// The blob does not start with the snapshot magic.
+    BadMagic,
+    /// The blob's format version is not supported by this build.
+    BadVersion(u32),
+    /// The blob was captured under a different core configuration or
+    /// scheduler than the one it is being restored into.
+    ConfigMismatch,
+    /// The trailing integrity digest does not match the payload
+    /// (bit rot, or a torn write that kept the original length).
+    DigestMismatch,
+    /// A structurally invalid field value (out-of-range enum code,
+    /// table-size mismatch, …).
+    Corrupt(String),
+    /// The caller-supplied trace does not contain the op this snapshot's
+    /// in-flight window references — the snapshot belongs to a different
+    /// trace.
+    TraceMismatch {
+        /// The sequence number that failed rehydration.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated mid-record"),
+            SnapshotError::BadMagic => write!(f, "not a pipeline snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ConfigMismatch => {
+                write!(
+                    f,
+                    "snapshot was captured under a different config/scheduler"
+                )
+            }
+            SnapshotError::DigestMismatch => write!(f, "snapshot integrity digest mismatch"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::TraceMismatch { seq } => {
+                write!(f, "trace does not contain in-flight op seq {seq}")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// The config digest bound into every snapshot: FNV-1a over the full
+/// `Debug` rendering of the configuration plus the scheduler name. Any
+/// knob change (sizes, latencies, scheduler mode or its parameters)
+/// changes the digest and invalidates old snapshots, which is exactly
+/// the safe behaviour for resumable sweeps.
+#[must_use]
+pub(crate) fn config_digest(config: &CoreConfig, sched_name: &str) -> u64 {
+    fnv1a(format!("{config:?}|{sched_name}").as_bytes())
+}

@@ -54,6 +54,13 @@
 //! [`Simulator::with_scan_wakeup`]: super::Simulator
 //! [`PoolKind`]: crate::fu::PoolKind
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::mem;
 
@@ -116,6 +123,51 @@ impl WakeupState {
             sub_scratch: Vec::new(),
         }
     }
+
+    /// Export the persistent wakeup state — ready sets, every wheel slot
+    /// (by index), and the far map — for snapshotting. The per-cycle
+    /// scratch buffers (`requests`, `granted`, `sub_scratch`) are logically
+    /// empty between cycles, which is the only point a snapshot is taken;
+    /// they are excluded and restore empty.
+    pub(crate) fn export_state(&self) -> WakeupSnapshot {
+        debug_assert!(self.granted.is_empty(), "snapshot mid-issue");
+        debug_assert!(self.sub_scratch.is_empty(), "snapshot mid-dispatch");
+        WakeupSnapshot {
+            ready: self.ready.clone(),
+            wheel: self.wheel.clone(),
+            far: self.far.iter().map(|(&k, v)| (k, v.clone())).collect(),
+        }
+    }
+
+    /// Restore state captured by `export_state`. Scratch buffers restore
+    /// empty. Fails if the wheel slot count differs (a snapshot from a
+    /// build with a different `WHEEL_SLOTS`).
+    pub(crate) fn import_state(&mut self, snap: WakeupSnapshot) -> Result<(), String> {
+        if snap.wheel.len() != self.wheel.len() {
+            return Err(format!(
+                "timer wheel mismatch: snapshot has {} slots, build uses {}",
+                snap.wheel.len(),
+                self.wheel.len()
+            ));
+        }
+        self.ready = snap.ready;
+        self.wheel = snap.wheel;
+        self.far = snap.far.into_iter().collect();
+        for r in &mut self.requests {
+            r.clear();
+        }
+        self.granted.clear();
+        self.sub_scratch.clear();
+        Ok(())
+    }
+}
+
+/// Serialized image of [`WakeupState`] (crate-internal snapshot plumbing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WakeupSnapshot {
+    pub(crate) ready: [Vec<u64>; 4],
+    pub(crate) wheel: Vec<Vec<u64>>,
+    pub(crate) far: Vec<(u64, Vec<u64>)>,
 }
 
 impl PipelineState {
@@ -383,6 +435,7 @@ pub(crate) mod alloc_probe {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod alloc_counter {
     //! A counting allocator for the whole unit-test binary: delegates to
     //! the system allocator and bumps the thread-local probe on every
@@ -413,6 +466,7 @@ mod alloc_counter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use redsoc_isa::prelude::*;
 

@@ -252,6 +252,43 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     fn on_writeback(&self, x: &Ifo, cycle: u64) {
         let _ = (x, cycle);
     }
+
+    /// Serialize scheduler-private mutable state for a pipeline snapshot.
+    ///
+    /// **Contract:** everything the scheduler reads in later cycles that
+    /// is *not* reconstructible from its configuration and the serialized
+    /// [`PipelineState`] must round-trip through this pair of hooks —
+    /// otherwise a restored run diverges from the uninterrupted one. The
+    /// default returns an empty blob, correct for any stateless policy
+    /// (all four in-tree schedulers are stateless: their fields are
+    /// config-derived and never mutated; predictor tables live in
+    /// `PipelineState` — audit notes in each module).
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore scheduler-private state captured by [`Scheduler::snapshot`].
+    ///
+    /// The default accepts only the empty blob its `snapshot` default
+    /// produces, so a stateful scheduler that overrides one hook without
+    /// the other fails loudly instead of resuming with silently reset
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the blob cannot be
+    /// applied to this scheduler.
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        if blob.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scheduler '{}' has no private state, but the snapshot carries {} bytes",
+                self.name(),
+                blob.len()
+            ))
+        }
+    }
 }
 
 /// Build the scheduler implementing `config.mode` — the registry the

@@ -1,5 +1,12 @@
 //! The MOS operation-fusion comparator (§VI-D).
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::pipeline::state::{Ifo, PipelineState};
 
 use super::{FusedIssue, Scheduler};
@@ -15,6 +22,11 @@ use super::{FusedIssue, Scheduler};
 /// fusion pass runs in `post_issue`, outside the wakeup contract; fused
 /// consumers are marked issued immediately, so they can never appear in a
 /// later ready set. Contract satisfied.
+///
+/// Snapshot audit: a unit struct with no fields — fusion decisions are
+/// recomputed each cycle from the in-flight window, which the pipeline
+/// snapshot serializes; the default empty [`Scheduler::snapshot`] blob is
+/// complete. Contract satisfied.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MosScheduler;
 

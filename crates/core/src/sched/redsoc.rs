@@ -1,5 +1,12 @@
 //! The ReDSOC slack-recycling scheduler (§III–IV).
 
+// Invariant `expect`s in this module are deliberate: each one guards a
+// structural pipeline invariant that only a simulator bug can violate
+// (never operator input), and a loud abort — isolated and quarantined
+// per job by the bench supervisor — beats silently corrupting a
+// result. The per-cycle hot path stays `Result`-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use redsoc_isa::opcode::ExecClass;
 use redsoc_timing::slack::{SlackBucket, WidthClass};
 use redsoc_timing::width_predictor::WidthOutcome;
@@ -23,6 +30,14 @@ use super::{ExecTiming, IssueArgs, Scheduler, SelectRequest};
 ///   parent's CI must fall within `threshold_ticks` of the cycle start;
 /// - **CI-resolution completion timing** with width-prediction validation
 ///   at execute and two-cycle FU holds for boundary-crossing evaluations.
+///
+/// Snapshot audit: every field is captured once in `from_config` and
+/// never mutated afterwards (`invert_select` additionally reads the
+/// `REDSOC_TEST_INVERT_SKEW` environment variable, which a resuming
+/// process re-reads identically); the predictor tables the policy
+/// consults live in `PipelineState` and are serialized there. The
+/// default empty [`Scheduler::snapshot`] blob is complete. Contract
+/// satisfied.
 #[derive(Debug, Clone, Copy)]
 pub struct RedsocScheduler {
     egpw: bool,

@@ -51,6 +51,7 @@ impl OpCategory {
     /// slack bucket leaves > 20% of the clock unused — the paper's ALU-HS
     /// definition).
     #[must_use]
+    #[allow(clippy::expect_used)] // SlackBucket covers every IntAlu op by construction
     pub fn classify(
         instr: &Instr,
         l1_miss: bool,
@@ -120,6 +121,16 @@ impl OpMix {
             self.count(cat) as f64 / t as f64
         }
     }
+
+    /// The raw category histogram, for snapshotting.
+    pub(crate) fn export_counts(&self) -> &BTreeMap<OpCategory, u64> {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from exported counts.
+    pub(crate) fn from_counts(counts: BTreeMap<OpCategory, u64>) -> Self {
+        OpMix { counts }
+    }
 }
 
 /// Transparent-sequence length statistics (Fig. 11).
@@ -180,6 +191,12 @@ impl ChainStats {
     #[must_use]
     pub fn histogram(&self) -> &BTreeMap<u32, u64> {
         &self.lengths
+    }
+
+    /// Rebuild chain statistics from an exported histogram (see
+    /// [`ChainStats::histogram`]).
+    pub(crate) fn from_histogram(lengths: BTreeMap<u32, u64>) -> Self {
+        ChainStats { lengths }
     }
 }
 
@@ -318,7 +335,7 @@ impl StallBreakdown {
 }
 
 /// Full simulation report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -394,6 +411,7 @@ impl SimReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use redsoc_isa::opcode::AluOp;

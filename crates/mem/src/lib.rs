@@ -25,11 +25,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
 pub mod hierarchy;
 pub mod prefetch;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessOutcome, AccessResult, HierarchyStats, MemLatencies, MemoryHierarchy};
-pub use prefetch::StridePrefetcher;
+pub use cache::{Cache, CacheConfig, CacheState, CacheStats, LineState};
+pub use hierarchy::{
+    AccessOutcome, AccessResult, HierarchyState, HierarchyStats, MemLatencies, MemoryHierarchy,
+};
+pub use prefetch::{PrefetchEntryState, PrefetchState, PrefetchStats, StridePrefetcher};

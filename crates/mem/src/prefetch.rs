@@ -43,6 +43,33 @@ pub struct PrefetchStats {
     pub issued: u64,
 }
 
+/// Serialized image of one prefetcher table slot, as exported by
+/// [`StridePrefetcher::export_state`]. The training state is encoded as an
+/// integer (0 = initial, 1 = transient, 2 = steady).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchEntryState {
+    /// Slot holds a trained PC.
+    pub valid: bool,
+    /// Full PC of the owning load.
+    pub pc_tag: u32,
+    /// Last address observed for this PC.
+    pub last_addr: u64,
+    /// Last stride observed (signed).
+    pub stride: i64,
+    /// Training state code: 0 initial, 1 transient, 2 steady.
+    pub state: u8,
+}
+
+/// Full mutable state of a [`StridePrefetcher`], restorable via
+/// [`StridePrefetcher::import_state`] on a prefetcher of the same shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchState {
+    /// Every table slot in index order.
+    pub entries: Vec<PrefetchEntryState>,
+    /// Accumulated statistics.
+    pub stats: PrefetchStats,
+}
+
 /// A stride prefetcher trained on the demand-load address stream.
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -123,9 +150,67 @@ impl StridePrefetcher {
     pub fn stats(&self) -> PrefetchStats {
         self.stats
     }
+
+    /// Export the full mutable state (table, stats) for snapshotting. The
+    /// prefetch degree is configuration, not state, and is not included.
+    #[must_use]
+    pub fn export_state(&self) -> PrefetchState {
+        PrefetchState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| PrefetchEntryState {
+                    valid: e.valid,
+                    pc_tag: e.pc_tag,
+                    last_addr: e.last_addr,
+                    stride: e.stride,
+                    state: match e.state {
+                        State::Initial => 0,
+                        State::Transient => 1,
+                        State::Steady => 2,
+                    },
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state previously captured by
+    /// [`StridePrefetcher::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the entry count does not match this table's size or a
+    /// state code is out of range.
+    pub fn import_state(&mut self, state: &PrefetchState) -> Result<(), String> {
+        if state.entries.len() != self.entries.len() {
+            return Err(format!(
+                "prefetcher table mismatch: snapshot has {} entries, table holds {}",
+                state.entries.len(),
+                self.entries.len()
+            ));
+        }
+        for (dst, src) in self.entries.iter_mut().zip(&state.entries) {
+            *dst = Entry {
+                valid: src.valid,
+                pc_tag: src.pc_tag,
+                last_addr: src.last_addr,
+                stride: src.stride,
+                state: match src.state {
+                    0 => State::Initial,
+                    1 => State::Transient,
+                    2 => State::Steady,
+                    other => return Err(format!("bad prefetch state code {other}")),
+                },
+            };
+        }
+        self.stats = state.stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -171,6 +256,28 @@ mod tests {
         p.train(0x44, 100_008);
         assert_eq!(p.train(0x40, 128), vec![192]);
         assert_eq!(p.train(0x44, 100_016), vec![100_024]);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut p = StridePrefetcher::new(16, 2);
+        p.train(0x40, 1000);
+        p.train(0x40, 1064);
+        p.train(0x44, 5);
+        let state = p.export_state();
+        let mut fresh = StridePrefetcher::new(16, 2);
+        fresh.import_state(&state).unwrap();
+        assert_eq!(fresh.export_state(), state);
+        // Both confirm the stride and emit identical prefetches.
+        assert_eq!(p.train(0x40, 1128), fresh.train(0x40, 1128));
+        assert_eq!(p.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn import_rejects_wrong_table_size() {
+        let state = StridePrefetcher::new(16, 2).export_state();
+        let mut big = StridePrefetcher::new(32, 2);
+        assert!(big.import_state(&state).is_err());
     }
 
     #[test]

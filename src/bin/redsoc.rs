@@ -9,7 +9,9 @@
 //! redsoc sweep bzip2 --knob threshold
 //! redsoc bench --threads 8 --len 300000 --out BENCH_sweep.json
 //! redsoc bench --journal sweep.jnl --job-timeout 50000000
+//! redsoc bench --journal sweep.jnl --snapshot-interval 100000
 //! redsoc bench --resume sweep.jnl --out BENCH_sweep.json
+//! redsoc chaos --kills 5 --seed 1 --len 20000
 //! redsoc sweepcmp a_sweep.json b_sweep.json
 //! redsoc perfgate BENCH_sweep.json fresh_sweep.json --tolerance 15
 //! ```
@@ -17,6 +19,10 @@
 //! Exit codes are structured so scripts can tell failure modes apart:
 //! `0` success, `1` I/O or comparison mismatch, `2` usage error, `3`
 //! simulator error, `4` sweep completed but with failed cells.
+
+// A crash in the driver loses an operator's sweep; every fallible path
+// must flow into the structured `CliError` exit codes instead.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
 
@@ -415,6 +421,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
             "job-timeout",
             "max-retries",
             "backoff-ms",
+            "snapshot-interval",
         ],
     )?;
     let threads = flags.num("threads", redsoc::bench::threads())?.max(1);
@@ -436,6 +443,26 @@ fn cmd_bench(args: &[String]) -> CliResult {
     }
     sup.max_retries = flags.num("max-retries", sup.max_retries)?;
     sup.backoff_base = std::time::Duration::from_millis(flags.num("backoff-ms", 25u64)?);
+    if let Some(v) = flags.get("snapshot-interval") {
+        let cycles: u64 = v
+            .parse()
+            .map_err(|e| usage_err(format!("bad --snapshot-interval: {e}")))?;
+        if cycles == 0 {
+            return Err(usage_err(
+                "--snapshot-interval must be a positive cycle count",
+            ));
+        }
+        // Checkpoints live in the journal's sidecar directory; without a
+        // journal there is nowhere to put them, and silently ignoring the
+        // flag would defeat the crash-safety the caller asked for.
+        if flags.get("journal").is_none() && flags.get("resume").is_none() {
+            return Err(usage_err(
+                "--snapshot-interval requires --journal or --resume \
+                 (in-flight checkpoints are journaled)",
+            ));
+        }
+        sup.snapshot_interval = Some(cycles);
+    }
 
     let mut journal = match (flags.get("resume"), flags.get("journal")) {
         (Some(_), Some(_)) => {
@@ -528,6 +555,186 @@ fn cmd_bench(args: &[String]) -> CliResult {
             "sweep completed with {} failed cell(s): {}",
             failed.len(),
             failed.join(", ")
+        )))
+    }
+}
+
+/// Seeded xorshift64: the chaos harness's only randomness source, so a
+/// given `--seed` replays the same kill schedule.
+fn xorshift64(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+/// Chaos kill-loop: prove the snapshot/journal/resume path end to end by
+/// repeatedly SIGKILLing a real child sweep mid-job and resuming it, then
+/// comparing the final sweep document against an uninterrupted in-process
+/// reference. Kill points are driven by `--seed` through the journal's
+/// observable growth (a new line means a cell completed *or* an in-flight
+/// checkpoint landed — the latter puts the kill squarely inside a job).
+fn cmd_chaos(args: &[String]) -> CliResult {
+    use redsoc::bench::json::Json;
+    let flags = Flags::parse(
+        args,
+        &[
+            "threads",
+            "len",
+            "kills",
+            "seed",
+            "snapshot-interval",
+            "dir",
+        ],
+    )?;
+    let threads: usize = flags.num("threads", redsoc::bench::threads())?.max(1);
+    let len: u64 = flags.num("len", 20_000)?;
+    let kills: u64 = flags.num("kills", 5u64)?;
+    if kills == 0 {
+        return Err(usage_err("--kills must be a positive kill count"));
+    }
+    let seed: u64 = flags.num("seed", 0u64)?;
+    let interval: u64 = flags.num("snapshot-interval", 4096u64)?;
+    if interval == 0 {
+        return Err(usage_err(
+            "--snapshot-interval must be a positive cycle count",
+        ));
+    }
+    let keep_dir = flags.get("dir").is_some();
+    let dir = match flags.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("redsoc-chaos-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
+
+    // The uninterrupted reference, in-process: what the chaotic run must
+    // reproduce byte-identically after canonicalisation.
+    println!("chaos: reference sweep (len {len}, {threads} thread(s), no interruptions)");
+    let cache = redsoc::bench::TraceCache::new(len);
+    let grid = run_grid_supervised(
+        &cache,
+        &Benchmark::all(),
+        &redsoc::bench::cores(),
+        &Mode::all(),
+        threads,
+        &SupervisorConfig::default(),
+        None,
+    );
+    if !grid.fully_ok() {
+        return Err(CliError::Sim(
+            "reference sweep has failed cells; a chaos comparison would be meaningless".into(),
+        ));
+    }
+    let reference = canonicalize_sweep(&sweep_json(&grid, len));
+    let reference_path = dir.join("reference.json");
+    std::fs::write(&reference_path, sweep_json(&grid, len).pretty())
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", reference_path.display())))?;
+
+    let journal = dir.join("chaos.jnl");
+    let out = dir.join("chaos.json");
+    std::fs::remove_file(&journal).ok();
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("cannot locate own binary: {e}")))?;
+    let spawn = |resume: bool| -> Result<std::process::Child, CliError> {
+        let mut c = std::process::Command::new(&exe);
+        c.arg("bench")
+            .args(["--threads", &threads.to_string()])
+            .args(["--len", &len.to_string()])
+            .args(["--snapshot-interval", &interval.to_string()])
+            .arg("--out")
+            .arg(&out)
+            .arg(if resume { "--resume" } else { "--journal" })
+            .arg(&journal)
+            // The children must run clean: the chaos harness *is* the
+            // fault injector here.
+            .env_remove("REDSOC_FAULT")
+            .env_remove("REDSOC_DIE_AFTER_JOBS")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        c.spawn()
+            .map_err(|e| CliError::Io(format!("cannot spawn child sweep: {e}")))
+    };
+    let journal_lines = || std::fs::read_to_string(&journal).map_or(0, |t| t.lines().count());
+
+    let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+    if rng == 0 {
+        rng = 0x2545_F491_4F6C_DD1D;
+    }
+    let mut performed = 0u64;
+    while performed < kills {
+        let mut child = spawn(performed > 0)?;
+        // Kill after the journal gains 1–2 more lines: right on the heels
+        // of a record or checkpoint landing, i.e. mid-sweep and (once
+        // checkpoints flow) mid-job.
+        let target = journal_lines() + 1 + (xorshift64(&mut rng) as usize & 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            if let Some(status) = child
+                .try_wait()
+                .map_err(|e| CliError::Io(format!("cannot poll child sweep: {e}")))?
+            {
+                return Err(CliError::Io(format!(
+                    "child sweep completed ({status}) after only {performed} of {kills} \
+                     kill(s); use a longer --len or fewer --kills"
+                )));
+            }
+            if journal_lines() >= target {
+                child.kill().ok();
+                child.wait().ok();
+                performed += 1;
+                println!(
+                    "chaos: kill {performed}/{kills} at {} journal line(s)",
+                    journal_lines()
+                );
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                child.kill().ok();
+                child.wait().ok();
+                return Err(CliError::Io(
+                    "child sweep made no journal progress within 120s".into(),
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    // Final, uninterrupted resume: must finish everything that survived
+    // the kills.
+    println!("chaos: final resume to completion");
+    let status = spawn(true)?
+        .wait()
+        .map_err(|e| CliError::Io(format!("cannot wait for final resume: {e}")))?;
+    if !status.success() {
+        return Err(CliError::Io(format!(
+            "final resume run failed ({status}); artifacts kept in {}",
+            dir.display()
+        )));
+    }
+
+    let text = std::fs::read_to_string(&out)
+        .map_err(|e| CliError::Io(format!("cannot read {}: {e}", out.display())))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Io(format!("chaotic sweep output is not valid JSON: {e}")))?;
+    if canonicalize_sweep(&doc) == reference {
+        println!(
+            "chaos: survived {kills} mid-sweep kill(s); resumed sweep is identical to the \
+             uninterrupted reference after canonicalisation"
+        );
+        if !keep_dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        Ok(())
+    } else {
+        Err(CliError::Io(format!(
+            "resumed sweep differs from the uninterrupted reference; \
+             artifacts kept in {} (compare with: redsoc sweepcmp {} {})",
+            dir.display(),
+            reference_path.display(),
+            out.display()
         )))
     }
 }
@@ -819,7 +1026,14 @@ fn usage() -> String {
      \x20                          --resume FILE    reopen a journal, skip done cells\n\
      \x20                          --job-timeout N  per-job cycle budget\n\
      \x20                          --max-retries N  retries for transient failures\n\
-     \x20                          --backoff-ms N   retry backoff base)\n\
+     \x20                          --backoff-ms N   retry backoff base\n\
+     \x20                          --snapshot-interval N  checkpoint in-flight jobs every\n\
+     \x20                          N cycles into the journal (needs --journal/--resume))\n\
+     \x20 chaos [flags]            crash-safety proof: SIGKILL a child sweep mid-job\n\
+     \x20                          --kills times (default 5), resume each time, and\n\
+     \x20                          require the final sweep to match an uninterrupted\n\
+     \x20                          reference (--seed N  --len N  --threads N\n\
+     \x20                          --snapshot-interval N  --dir DIR keeps artifacts)\n\
      \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock and thread count\n\
      \x20 perfgate <base> <fresh>  perf-regression gate: fail if <fresh> is more than\n\
      \x20                          --tolerance percent (default 15) slower in cpu_seconds\n\
@@ -844,6 +1058,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("sweepcmp") => cmd_sweepcmp(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),

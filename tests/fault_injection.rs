@@ -243,6 +243,13 @@ fn cli_maps_errors_to_structured_exit_codes() {
         &["fuzz", "--cases", "0"],
         &["fuzz", "--schedulers", "nosuchsched"],
         &["fuzz", "--sabotage", "nope"],
+        &["bench", "--snapshot-interval", "0", "--journal", "x.jnl"],
+        &["bench", "--snapshot-interval", "junk", "--journal", "x.jnl"],
+        // In-flight checkpoints are journaled; without a journal the
+        // flag is an operator mistake, not a silent no-op.
+        &["bench", "--snapshot-interval", "4096"],
+        &["chaos", "--kills", "0"],
+        &["chaos", "--seed", "frog"],
         &["frobnicate"],
     ];
     for args in cases {
@@ -356,6 +363,106 @@ fn tail_window_kill_after_last_job_loses_nothing_on_resume() {
     ]));
     assert_eq!(exit_code(&out), 0, "sweepcmp agrees the sweeps match");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_after_first_inflight_snapshot_resumes_byte_identically() {
+    // A real SIGKILL (not the cooperative REDSOC_DIE_AFTER_JOBS exit)
+    // delivered the instant the first in-flight checkpoint record hits
+    // the journal — i.e. while a simulation is mid-run. The resumed
+    // sweep restores that job from its snapshot and must still match an
+    // uninterrupted reference byte for byte.
+    let dir = tmp_dir("sigkill");
+    let clean = dir.join("clean.json");
+    let dead = dir.join("dead.json");
+    let resumed = dir.join("resumed.json");
+    let journal = dir.join("sweep.jnl");
+
+    let out = run(redsoc().args(bench_args(&clean)));
+    assert_eq!(exit_code(&out), 0, "reference sweep must succeed: {out:?}");
+
+    let mut child = redsoc()
+        .args(bench_args(&dead))
+        .args(["--journal", &journal.display().to_string()])
+        .args(["--snapshot-interval", "1024"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn snapshotting sweep");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let has_snapshot = std::fs::read_to_string(&journal)
+            .is_ok_and(|t| t.lines().any(|l| l.contains("\"kind\": \"snapshot\"")));
+        if has_snapshot {
+            child.kill().expect("SIGKILL the sweep");
+            child.wait().expect("reap the sweep");
+            break;
+        }
+        assert!(
+            child.try_wait().expect("poll child").is_none(),
+            "sweep finished before any snapshot record landed — \
+             lower --snapshot-interval or raise the trace length"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no snapshot record within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(!dead.exists(), "killed sweep must not write its output");
+
+    // Resume with snapshotting still enabled so the torn job restarts
+    // from its checkpoint rather than from scratch.
+    let out = run(redsoc()
+        .args(bench_args(&resumed))
+        .args(["--snapshot-interval", "1024"])
+        .args(["--resume", &journal.display().to_string()]));
+    assert_eq!(exit_code(&out), 0, "resumed sweep completes: {out:?}");
+
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &clean.display().to_string(),
+        &resumed.display().to_string(),
+    ]));
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "sweep resumed from an in-flight snapshot must match the \
+         uninterrupted reference: {out:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_harness_survives_seeded_kill_loop() {
+    // The built-in chaos harness end to end: three seeded SIGKILLs
+    // mid-sweep, resume after each, final comparison against its own
+    // uninterrupted in-process reference. Mirrors the CI chaos-smoke
+    // step.
+    let dir = tmp_dir("chaos");
+    let out = run(redsoc().args([
+        "chaos",
+        "--threads",
+        THREADS,
+        "--len",
+        LEN,
+        "--kills",
+        "3",
+        "--seed",
+        "7",
+        "--snapshot-interval",
+        "1024",
+        "--dir",
+        &dir.display().to_string(),
+    ]));
+    assert_eq!(exit_code(&out), 0, "chaos harness must survive: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("kill 3/3") && stdout.contains("identical"),
+        "chaos reports every kill and the final byte-identity: {stdout}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

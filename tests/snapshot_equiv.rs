@@ -1,0 +1,198 @@
+//! Snapshot/restore equivalence property test.
+//!
+//! For fuzz-generated programs across every scheduling policy (baseline,
+//! ReDSOC, MOS, TS) and every Table I core preset: run the program to
+//! completion recording the full event stream, run it again under a
+//! [`CheckpointPlan`] harvesting every in-flight snapshot, pick one
+//! checkpoint at a seeded random cycle, restore a fresh simulator from
+//! the blob, and require the resumed run to reproduce
+//!
+//! - the **remaining event stream** of the uninterrupted run, entry by
+//!   entry (the strongest available cycle-identicality oracle: a single
+//!   predictor bit or cache line lost in serialisation shifts a grant);
+//! - the **final report**, including the stall partition, byte-for-byte
+//!   in `Debug` form;
+//! - the stall-partition invariant (counters sum exactly to cycles).
+//!
+//! TS is restored through [`Simulator::restore_with_scheduler`] with the
+//! same rescaled-latency configuration `run_ts` builds, proving the
+//! explicit-scheduler restore path on a policy `config.sched.mode` cannot
+//! name.
+
+use redsoc::core::config::{CoreConfig, SchedulerConfig};
+use redsoc::core::events::VecSink;
+use redsoc::core::pipeline::{CheckpointPlan, Simulator};
+use redsoc::core::sched::ts::{choose_clock, TsScheduler, TS_MIN_CLOCK_PS};
+use redsoc::core::stats::StallCause;
+use redsoc::isa::interp::Interpreter;
+use redsoc::isa::trace::DynOp;
+use redsoc::timing::optime::CYCLE_PS;
+use redsoc::verify::gen::{gen_case, GenKnobs};
+use redsoc_prng::SmallRng;
+
+#[derive(Clone, Copy, Debug)]
+enum Flavor {
+    Baseline,
+    Redsoc,
+    Mos,
+    Ts,
+}
+
+const FLAVORS: [Flavor; 4] = [Flavor::Baseline, Flavor::Redsoc, Flavor::Mos, Flavor::Ts];
+
+impl Flavor {
+    /// The core configuration this flavor simulates `trace` under. For
+    /// TS this mirrors `run_ts`: baseline scheduling plus fixed-time
+    /// memory latencies rescaled to the per-application shortened clock.
+    fn config(self, core: &CoreConfig, trace: &[DynOp]) -> CoreConfig {
+        match self {
+            Flavor::Baseline => core.clone().with_sched(SchedulerConfig::baseline()),
+            Flavor::Redsoc => core.clone().with_sched(SchedulerConfig::redsoc()),
+            Flavor::Mos => core.clone().with_sched(SchedulerConfig::mos()),
+            Flavor::Ts => {
+                let clock_ps = choose_clock(trace, 0.01, TS_MIN_CLOCK_PS, 10);
+                let scale = f64::from(CYCLE_PS) / f64::from(clock_ps);
+                let rescale = |cycles: u32| (f64::from(cycles) * scale).ceil() as u32;
+                let mut cfg = core.clone().with_sched(SchedulerConfig::baseline());
+                cfg.mem_latencies.l1_cycles = rescale(cfg.mem_latencies.l1_cycles);
+                cfg.mem_latencies.l2_cycles = rescale(cfg.mem_latencies.l2_cycles);
+                cfg.mem_latencies.mem_cycles = rescale(cfg.mem_latencies.mem_cycles);
+                cfg
+            }
+        }
+    }
+
+    fn build(self, config: CoreConfig) -> Simulator {
+        match self {
+            Flavor::Ts => {
+                Simulator::with_scheduler(config, Box::new(TsScheduler)).expect("valid TS config")
+            }
+            _ => Simulator::new(config).expect("valid config"),
+        }
+    }
+
+    fn restore(self, config: CoreConfig, blob: &[u8], trace: &[DynOp]) -> (Simulator, u64) {
+        match self {
+            Flavor::Ts => {
+                Simulator::restore_with_scheduler(config, Box::new(TsScheduler), blob, trace)
+                    .expect("TS snapshot restores")
+            }
+            _ => Simulator::restore(config, blob, trace).expect("snapshot restores"),
+        }
+    }
+}
+
+#[test]
+fn restored_runs_reproduce_event_streams_and_reports() {
+    let mut rng = SmallRng::seed_from_u64(0x5AFE_5EED);
+    let cores = CoreConfig::table1();
+    let mut verified = 0u32;
+
+    for case in 0..18u64 {
+        // Sized so most traces run past the minimum 1024-cycle
+        // checkpoint interval on every core (short ones are skipped and
+        // back-stopped by the campaign floor below).
+        let knobs = GenKnobs::sampled(&mut rng, 1200);
+        let program = gen_case(&mut rng, &knobs)
+            .build()
+            .unwrap_or_else(|e| panic!("case {case} builds: {e}"));
+        let trace = Interpreter::new(&program)
+            .run(20_000)
+            .unwrap_or_else(|e| panic!("case {case} must not fault: {e:?}"));
+        let trace = trace.ops();
+        let core = &cores[(case % 3) as usize];
+
+        for flavor in FLAVORS {
+            let config = flavor.config(core, trace);
+
+            // Uninterrupted reference: full event stream + final report.
+            let mut full = VecSink::default();
+            let report_full = flavor
+                .build(config.clone())
+                .run_events(trace.iter().copied(), &mut full)
+                .unwrap_or_else(|e| panic!("case {case}/{flavor:?}: reference run failed: {e}"));
+
+            // Checkpointed run: harvest every in-flight snapshot. Must
+            // also end in the same report (the plan is a pure observer).
+            let mut blobs: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut save = |cycle: u64, blob: Vec<u8>| blobs.push((cycle, blob));
+            let report_ck = flavor
+                .build(config.clone())
+                .run_events_checkpointed(
+                    trace.iter().copied(),
+                    &mut VecSink::default(),
+                    CheckpointPlan::new(1024, &mut save),
+                )
+                .unwrap_or_else(|e| panic!("case {case}/{flavor:?}: checkpointed run failed: {e}"));
+            assert_eq!(
+                format!("{report_full:?}"),
+                format!("{report_ck:?}"),
+                "case {case}/{flavor:?}: checkpointing perturbed the run"
+            );
+            // Short programs finish before the first 1024-cycle boundary;
+            // the campaign-level floor below keeps this from going quiet.
+            if blobs.is_empty() {
+                continue;
+            }
+
+            // Restore from one seeded checkpoint and run the tail.
+            let pick = (rng.next_u64() % blobs.len() as u64) as usize;
+            let (snap_cycle, blob) = &blobs[pick];
+            let (sim, cursor) = flavor.restore(config, blob, trace);
+            let mut tail = VecSink::default();
+            let report_tail = sim
+                .run_events(trace[cursor as usize..].iter().copied(), &mut tail)
+                .unwrap_or_else(|e| panic!("case {case}/{flavor:?}: restored run failed: {e}"));
+
+            // The resumed run must be the exact suffix of the reference.
+            assert!(
+                full.events.len() >= tail.events.len(),
+                "case {case}/{flavor:?}: restored run emitted extra events"
+            );
+            let start = full.events.len() - tail.events.len();
+            assert!(
+                full.events[..start].iter().all(|(c, _)| *c < *snap_cycle),
+                "case {case}/{flavor:?}: events at/after cycle {snap_cycle} \
+                 missing from the restored stream"
+            );
+            if let Some(i) = tail
+                .events
+                .iter()
+                .zip(&full.events[start..])
+                .position(|(a, b)| a != b)
+            {
+                panic!(
+                    "case {case}/{flavor:?}: restored event stream diverges at index {i} \
+                     (snapshot cycle {snap_cycle}):\n\
+                     reference: {:?}\nrestored:  {:?}",
+                    full.events[start + i],
+                    tail.events[i],
+                );
+            }
+
+            // Same final report (covers cycles, committed, predictor and
+            // memory statistics, and the stall partition)…
+            assert_eq!(
+                format!("{report_full:?}"),
+                format!("{report_tail:?}"),
+                "case {case}/{flavor:?}: restored run's final report differs"
+            );
+            // …and the partition invariant survives restoration.
+            let stall_sum: u64 = StallCause::all()
+                .iter()
+                .map(|&c| report_tail.stalls.count(c))
+                .sum();
+            assert_eq!(
+                stall_sum, report_tail.cycles,
+                "case {case}/{flavor:?}: stall partition no longer sums to cycles"
+            );
+            verified += 1;
+        }
+    }
+
+    assert!(
+        verified >= 20,
+        "campaign too quiet: only {verified} restores exercised — \
+         lengthen the traces or lower the checkpoint interval"
+    );
+}
