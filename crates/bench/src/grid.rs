@@ -351,10 +351,26 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
                         stall_labels()
                             .into_iter()
                             .zip(s.iter())
+                            // The `mshr` bucket exists only under contended
+                            // memory models; omitting its always-zero entry
+                            // keeps classic sweep documents byte-identical
+                            // to pre-port builds (the golden fixture).
+                            .filter(|(label, n)| *label != "mshr" || **n != 0)
                             .map(|(label, n)| (label, Json::num(*n as f64)))
                             .collect(),
                     )
                 });
+            // Present only for contended-memory jobs; classic rows omit
+            // the key entirely so their documents match pre-port output.
+            let memory = summary.and_then(CellSummary::memory).map(|m| {
+                Json::obj(vec![
+                    ("model", Json::str(&m.model)),
+                    ("mshr_rejects", Json::num(m.mshr_rejects as f64)),
+                    ("mshr_merges", Json::num(m.mshr_merges as f64)),
+                    ("port_wait_cycles", Json::num(m.port_wait_cycles as f64)),
+                    ("dram_wait_cycles", Json::num(m.dram_wait_cycles as f64)),
+                ])
+            });
             let error = c.failure.as_ref().map_or(Json::Null, |f| {
                 Json::obj(vec![
                     ("kind", Json::str(f.error.kind())),
@@ -365,7 +381,7 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
                     ),
                 ])
             });
-            Json::obj(vec![
+            let mut fields = vec![
                 ("benchmark", Json::str(c.job.bench.name())),
                 ("class", Json::str(c.job.bench.class().label())),
                 ("core", Json::str(c.job.core_name)),
@@ -382,8 +398,12 @@ pub fn sweep_json(grid: &Grid, trace_len: u64) -> Json {
                     num_or_null(grid.try_speedup(c.job.bench, c.job.core_name, c.job.mode)),
                 ),
                 ("stalls", stalls),
-                ("error", error),
-            ])
+            ];
+            if let Some(memory) = memory {
+                fields.push(("memory", memory));
+            }
+            fields.push(("error", error));
+            Json::obj(fields)
         })
         .collect();
     let counts = grid.status_counts();

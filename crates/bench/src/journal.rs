@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::json::Json;
-use crate::supervisor::{stall_labels, CellSummary};
+use crate::supervisor::{stall_labels, CellSummary, MemSummary};
 
 /// FNV-1a 64-bit hash of `input`, rendered as 16 hex digits. Used for
 /// configuration digests: stable across runs, dependency-free, and cheap.
@@ -92,6 +92,7 @@ impl JournalRecord {
                 cycles,
                 committed,
                 stalls,
+                memory,
             } => {
                 pairs.push(("kind", Json::str("sim")));
                 pairs.push(("cycles", Json::num(*cycles as f64)));
@@ -106,6 +107,18 @@ impl JournalRecord {
                             .collect(),
                     ),
                 ));
+                if let Some(mem) = memory {
+                    pairs.push((
+                        "memory",
+                        Json::obj(vec![
+                            ("model", Json::str(&mem.model)),
+                            ("mshr_rejects", Json::num(mem.mshr_rejects as f64)),
+                            ("mshr_merges", Json::num(mem.mshr_merges as f64)),
+                            ("port_wait_cycles", Json::num(mem.port_wait_cycles as f64)),
+                            ("dram_wait_cycles", Json::num(mem.dram_wait_cycles as f64)),
+                        ]),
+                    ));
+                }
             }
             CellSummary::Ts {
                 cycles,
@@ -147,7 +160,7 @@ impl JournalRecord {
         let summary = match str_field("kind")?.as_str() {
             "sim" => {
                 let stalls_obj = doc.get("stalls").ok_or("missing stalls object")?;
-                let mut stalls = [0u64; 9];
+                let mut stalls = [0u64; 10];
                 for (slot, label) in stalls.iter_mut().zip(stall_labels()) {
                     *slot = stalls_obj
                         .get(label)
@@ -155,10 +168,32 @@ impl JournalRecord {
                         .ok_or_else(|| format!("missing stall counter {label:?}"))?
                         as u64;
                 }
+                let memory = match doc.get("memory") {
+                    None => None,
+                    Some(mem) => {
+                        let mem_num = |k: &str| {
+                            mem.get(k)
+                                .and_then(Json::as_num)
+                                .ok_or_else(|| format!("missing memory field {k:?}"))
+                        };
+                        Some(MemSummary {
+                            model: mem
+                                .get("model")
+                                .and_then(Json::as_str)
+                                .map(str::to_string)
+                                .ok_or("missing memory field \"model\"")?,
+                            mshr_rejects: mem_num("mshr_rejects")? as u64,
+                            mshr_merges: mem_num("mshr_merges")? as u64,
+                            port_wait_cycles: mem_num("port_wait_cycles")? as u64,
+                            dram_wait_cycles: mem_num("dram_wait_cycles")? as u64,
+                        })
+                    }
+                };
                 CellSummary::Sim {
                     cycles,
                     committed,
                     stalls,
+                    memory,
                 }
             }
             "ts" => CellSummary::Ts {
@@ -593,7 +628,8 @@ mod tests {
             summary: CellSummary::Sim {
                 cycles,
                 committed: cycles / 2,
-                stalls: [cycles, 0, 0, 0, 0, 0, 0, 0, 0],
+                stalls: [cycles, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                memory: None,
             },
         }
     }

@@ -43,7 +43,9 @@ use redsoc_isa::trace::DynOp;
 use redsoc_workloads::Benchmark;
 
 use crate::journal::{Journal, JournalRecord};
-use crate::supervisor::{supervise, CellSummary, Fault, JobError, JobStatus, SupervisorConfig};
+use crate::supervisor::{
+    supervise, CellSummary, Fault, JobError, JobStatus, MemSummary, SupervisorConfig,
+};
 use crate::TraceCache;
 
 pub use crate::grid::{
@@ -140,6 +142,26 @@ fn classify_sim_error(
     }
 }
 
+/// Condense a finished simulator report into the journaled cell summary.
+/// The memory sub-summary is present only for contention-modelling memory
+/// models, so classic jobs journal and render exactly as before.
+fn sim_summary(job: &Job, report: &redsoc_core::stats::SimReport) -> CellSummary {
+    use redsoc_mem::MemModelConfig;
+    let memory = (job.core.mem_model != MemModelConfig::Classic).then(|| MemSummary {
+        model: job.core.mem_model.label().to_string(),
+        mshr_rejects: report.mem_contention.mshr_rejects,
+        mshr_merges: report.mem_contention.mshr_merges,
+        port_wait_cycles: report.mem_contention.port_wait_cycles,
+        dram_wait_cycles: report.mem_contention.dram_wait_cycles,
+    });
+    CellSummary::Sim {
+        cycles: report.cycles,
+        committed: report.committed,
+        stalls: StallCause::all().map(|c| report.stalls.count(c)),
+        memory,
+    }
+}
+
 /// Checkpoint context for one supervised sim attempt: which journal the
 /// snapshots go to and the identity they carry.
 struct SnapCtx<'a> {
@@ -214,11 +236,7 @@ fn sim_attempt(
     };
     match outcome {
         Ok(report) => {
-            let summary = CellSummary::Sim {
-                cycles: report.cycles,
-                committed: report.committed,
-                stalls: StallCause::all().map(|c| report.stalls.count(c)),
-            };
+            let summary = sim_summary(job, &report);
             Ok((JobOutput::Sim(Box::new(report)), summary))
         }
         Err(e) => Err(classify_sim_error(e, sup.job_timeout_cycles, &ring)),
@@ -245,11 +263,7 @@ fn hang_attempt(
     match sim.run_events(endless_trace(), &mut ring) {
         // Unreachable in practice: the stream never ends.
         Ok(report) => {
-            let summary = CellSummary::Sim {
-                cycles: report.cycles,
-                committed: report.committed,
-                stalls: StallCause::all().map(|c| report.stalls.count(c)),
-            };
+            let summary = sim_summary(job, &report);
             Ok((JobOutput::Sim(Box::new(report)), summary))
         }
         Err(e) => Err(classify_sim_error(e, sup.job_timeout_cycles, &ring)),

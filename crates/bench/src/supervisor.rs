@@ -127,6 +127,25 @@ impl JobStatus {
     }
 }
 
+/// Per-job memory-model statistics journaled alongside a sim summary.
+///
+/// Present only for contention-modelling memory models; the classic
+/// fixed-latency model reports `None`, keeping its sweep JSON
+/// byte-identical to pre-port builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSummary {
+    /// Memory-model label (e.g. `"contended"`).
+    pub model: String,
+    /// Loads structurally rejected because every MSHR was busy.
+    pub mshr_rejects: u64,
+    /// Loads merged onto an MSHR already in flight for their line.
+    pub mshr_merges: u64,
+    /// Total cycles requests waited for a free cache access port.
+    pub port_wait_cycles: u64,
+    /// Total cycles requests waited in the DRAM queue.
+    pub dram_wait_cycles: u64,
+}
+
 /// The numbers a sweep row needs from a completed job — small enough to
 /// journal as one JSONL line, complete enough to rebuild the job's v3
 /// JSON row without re-running the simulation.
@@ -139,7 +158,9 @@ pub enum CellSummary {
         /// Committed instructions.
         committed: u64,
         /// Per-cause stall cycles, indexed like [`StallCause::all`].
-        stalls: [u64; 9],
+        stalls: [u64; 10],
+        /// Memory-model contention statistics (`None` under classic).
+        memory: Option<MemSummary>,
     },
     /// A timing-speculation analysis job.
     Ts {
@@ -172,9 +193,19 @@ impl CellSummary {
 
     /// The stall counters of a simulator summary.
     #[must_use]
-    pub fn stalls(&self) -> Option<&[u64; 9]> {
+    pub fn stalls(&self) -> Option<&[u64; 10]> {
         match self {
             CellSummary::Sim { stalls, .. } => Some(stalls),
+            CellSummary::Ts { .. } => None,
+        }
+    }
+
+    /// The memory-model summary of a simulator cell, when the job ran a
+    /// contention-modelling memory model.
+    #[must_use]
+    pub fn memory(&self) -> Option<&MemSummary> {
+        match self {
+            CellSummary::Sim { memory, .. } => memory.as_ref(),
             CellSummary::Ts { .. } => None,
         }
     }
@@ -182,7 +213,7 @@ impl CellSummary {
 
 /// Stall-cause labels in the canonical order used by [`CellSummary::Sim`].
 #[must_use]
-pub fn stall_labels() -> [&'static str; 9] {
+pub fn stall_labels() -> [&'static str; 10] {
     StallCause::all().map(StallCause::label)
 }
 

@@ -1,6 +1,6 @@
 //! Core and scheduler configuration (paper Table I).
 
-use redsoc_mem::{CacheConfig, MemLatencies};
+use redsoc_mem::{CacheConfig, MemLatencies, MemModelConfig};
 use redsoc_timing::Quant;
 
 /// Which scheduling mechanism the simulated core runs.
@@ -135,6 +135,10 @@ pub struct CoreConfig {
     pub mem_latencies: MemLatencies,
     /// Enable the stride prefetcher (Table I: on).
     pub prefetch: bool,
+    /// Which memory timing model services loads and stores. The default
+    /// [`MemModelConfig::Classic`] is cycle-identical to the pre-port
+    /// simulator; `Contended` adds MSHR/port/bandwidth hazards.
+    pub mem_model: MemModelConfig,
     /// Deadlock-watchdog threshold: the simulator reports
     /// [`SimError::Deadlock`](crate::pipeline::SimError) after this many cycles
     /// without a single commit. Must be large enough that a worst-case
@@ -165,6 +169,7 @@ impl CoreConfig {
             l2: CacheConfig::l2_2m(),
             mem_latencies: MemLatencies::default(),
             prefetch: true,
+            mem_model: MemModelConfig::Classic,
             deadlock_cycles: DEFAULT_DEADLOCK_CYCLES,
             sched: SchedulerConfig::baseline(),
         }
@@ -216,6 +221,13 @@ impl CoreConfig {
         self
     }
 
+    /// Replace the memory model (builder-style).
+    #[must_use]
+    pub fn with_mem_model(mut self, mem_model: MemModelConfig) -> Self {
+        self.mem_model = mem_model;
+        self
+    }
+
     /// Validate structural invariants.
     ///
     /// # Errors
@@ -234,6 +246,8 @@ impl CoreConfig {
         if self.alu_units == 0 {
             return Err("need at least one ALU".into());
         }
+        self.l1.validate().map_err(|e| format!("l1: {e}"))?;
+        self.l2.validate().map_err(|e| format!("l2: {e}"))?;
         if !(1..=8).contains(&self.sched.ci_bits) {
             return Err("CI precision must be 1..=8 bits".into());
         }
@@ -321,6 +335,28 @@ mod tests {
         let mut c = CoreConfig::small();
         c.sched.threshold_ticks = 100;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mem_model_defaults_to_classic_and_builds() {
+        let c = CoreConfig::small();
+        assert_eq!(c.mem_model, MemModelConfig::Classic);
+        let contended = CoreConfig::small().with_mem_model(MemModelConfig::Contended(
+            redsoc_mem::ContendedConfig::default(),
+        ));
+        contended.validate().unwrap();
+        assert_eq!(contended.mem_model.label(), "contended");
+    }
+
+    #[test]
+    fn validation_rejects_bad_cache_geometry() {
+        let mut c = CoreConfig::small();
+        c.l1.size_bytes = 1000; // not a multiple of ways*line
+        let err = c.validate().unwrap_err();
+        assert!(err.starts_with("l1:"), "got: {err}");
+        let mut c = CoreConfig::small();
+        c.l2.line_bytes = 48;
+        assert!(c.validate().unwrap_err().starts_with("l2:"));
     }
 
     #[test]

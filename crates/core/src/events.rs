@@ -136,6 +136,35 @@ pub enum PipeEvent {
         /// The attributed stall cause.
         cause: StallCause,
     },
+    /// The memory model structurally rejected a load at issue (every MSHR
+    /// busy with a different line); the entry parks until `retry_cycle`.
+    MemReject {
+        /// Dynamic instruction number.
+        seq: u64,
+        /// First cycle the entry may request selection again.
+        retry_cycle: u64,
+    },
+    /// An accepted memory request experienced contention: it merged into
+    /// an outstanding same-line miss and/or waited on ports or DRAM
+    /// bandwidth. Never emitted by the classic model.
+    MemContention {
+        /// Dynamic instruction number.
+        seq: u64,
+        /// Merged into an already-outstanding miss to the same line.
+        merged: bool,
+        /// Cycles spent waiting for a cache access port.
+        port_wait: u64,
+        /// Cycles spent queued for DRAM bandwidth.
+        queue_wait: u64,
+    },
+    /// A load was satisfied by store-to-load forwarding from an older
+    /// in-flight store instead of the cache hierarchy.
+    StoreForward {
+        /// Dynamic instruction number of the load.
+        seq: u64,
+        /// Dynamic instruction number of the forwarding store.
+        store_seq: u64,
+    },
 }
 
 impl PipeEvent {
@@ -155,6 +184,9 @@ impl PipeEvent {
             PipeEvent::Commit { .. } => "commit",
             PipeEvent::FetchRedirect { .. } => "fetch_redirect",
             PipeEvent::StallCycle { .. } => "stall_cycle",
+            PipeEvent::MemReject { .. } => "mem_reject",
+            PipeEvent::MemContention { .. } => "mem_contention",
+            PipeEvent::StoreForward { .. } => "store_forward",
         }
     }
 }
@@ -387,6 +419,24 @@ fn jsonl_line(buf: &mut String, cycle: u64, ev: &PipeEvent) {
         PipeEvent::StallCycle { cause } => {
             let _ = write!(buf, ",\"cause\":\"{}\"", cause.label());
         }
+        PipeEvent::MemReject { seq, retry_cycle } => {
+            let _ = write!(buf, ",\"seq\":{seq},\"retry_cycle\":{retry_cycle}");
+        }
+        PipeEvent::MemContention {
+            seq,
+            merged,
+            port_wait,
+            queue_wait,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"seq\":{seq},\"merged\":{merged},\"port_wait\":{port_wait},\
+                 \"queue_wait\":{queue_wait}"
+            );
+        }
+        PipeEvent::StoreForward { seq, store_seq } => {
+            let _ = write!(buf, ",\"seq\":{seq},\"store_seq\":{store_seq}");
+        }
     }
     buf.push('}');
 }
@@ -592,6 +642,19 @@ impl EventSink for ChromeTraceSink {
             }
             PipeEvent::StallCycle { cause } => {
                 self.span(chrome_tid::STALL, cyc_ts, self.tpc, cause.label(), "");
+            }
+            PipeEvent::MemReject { seq, .. } => {
+                self.instant(chrome_tid::ISSUE, cyc_ts, &format!("mem-reject #{seq}"));
+            }
+            PipeEvent::MemContention { seq, .. } => {
+                self.instant(chrome_tid::ISSUE, cyc_ts, &format!("mem-contention #{seq}"));
+            }
+            PipeEvent::StoreForward { seq, store_seq } => {
+                self.instant(
+                    chrome_tid::ISSUE,
+                    cyc_ts,
+                    &format!("stl-forward #{seq}<-#{store_seq}"),
+                );
             }
         }
     }

@@ -35,10 +35,15 @@ impl PipelineState {
             sched.on_writeback(head, self.cycle);
             // `DynOp` and the flags are Copy: no full-entry clone needed.
             let (op, mut l1_miss, done_cycle) = (head.op, head.l1_miss, head.done_cycle);
-            // Stores update the memory system at retirement.
+            // Stores update the memory system at retirement. The port
+            // contract guarantees stores are never structurally rejected
+            // (they allocate no MSHR), so an `Err` here is a model bug.
             if let Instr::Store { .. } = op.instr {
                 let addr = u64::from(op.eff_addr.expect("stores carry addresses"));
-                let res = self.memory.access(op.pc, addr, true);
+                let res = self
+                    .memory
+                    .request(op.seq, op.pc, addr, true, self.cycle)
+                    .expect("memory models never reject stores");
                 l1_miss = res.outcome.is_high_latency();
             }
             // Fig. 10 classification uses the *actual* operand width.

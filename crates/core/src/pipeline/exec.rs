@@ -18,10 +18,26 @@
 use redsoc_isa::instruction::Instr;
 use redsoc_isa::opcode::{ExecClass, SimdOp};
 use redsoc_isa::trace::DynOp;
+use redsoc_mem::{MemReject, MemResponse};
 
 use crate::sched::{ExecTiming, Scheduler};
 
 use super::state::{Ifo, PipelineState};
+
+/// How a load's value was (or was not) obtained by `multi_cycle_timing`:
+/// not a memory access at all, forwarded from an older in-flight store,
+/// or serviced by the memory model with the attached response.
+pub(crate) enum LoadPath {
+    /// Not a load (or a recyclable class that never reaches here).
+    NotMem,
+    /// Store-to-load forwarding from the LSQ; no cache access happened.
+    Forwarded {
+        /// Sequence number of the forwarding store.
+        store_seq: u64,
+    },
+    /// Serviced by the memory model.
+    Mem(MemResponse),
+}
 
 impl PipelineState {
     /// Whether `consumer` is a VMLA reading `tag`'s value through its
@@ -150,16 +166,18 @@ impl PipelineState {
     }
 
     /// Completion/occupancy timing for non-recyclable classes: multi-cycle
-    /// arithmetic, memory and control. Returns the timing plus whether a
-    /// load missed in the L1. Mutates the memory hierarchy (load accesses
-    /// are performed here).
+    /// arithmetic, memory and control. Returns the timing plus the load's
+    /// memory path. Loads request service from the memory port here; a
+    /// structural rejection (MSHRs full under the contended model)
+    /// surfaces as `Err` and the caller parks the entry until the retry
+    /// horizon.
     pub(crate) fn multi_cycle_timing(
         &mut self,
         seq: u64,
         op: &DynOp,
         class: ExecClass,
         t: u64,
-    ) -> (ExecTiming, bool) {
+    ) -> Result<(ExecTiming, LoadPath), MemReject> {
         let q = self.quant;
         let boundary = |l: u64, occupancy: u32| ExecTiming {
             sel_ready: t + l,
@@ -168,11 +186,14 @@ impl PipelineState {
             occupancy,
             held_two: false,
         };
-        match class {
-            ExecClass::IntMul => (boundary(u64::from(self.latencies.int_mul), 1), false),
+        Ok(match class {
+            ExecClass::IntMul => (
+                boundary(u64::from(self.latencies.int_mul), 1),
+                LoadPath::NotMem,
+            ),
             ExecClass::IntDiv => (
                 boundary(u64::from(self.latencies.int_div), self.latencies.int_div),
-                false,
+                LoadPath::NotMem,
             ),
             ExecClass::Fp => {
                 let instr_lat = match op.instr {
@@ -186,31 +207,34 @@ impl PipelineState {
                     } => self.latencies.fp_mul,
                     _ => self.latencies.fp_add,
                 };
-                (boundary(u64::from(instr_lat), 1), false)
+                (boundary(u64::from(instr_lat), 1), LoadPath::NotMem)
             }
-            ExecClass::SimdMul => (boundary(u64::from(self.latencies.simd_mul), 1), false),
+            ExecClass::SimdMul => (
+                boundary(u64::from(self.latencies.simd_mul), 1),
+                LoadPath::NotMem,
+            ),
             ExecClass::Load => {
-                let fwd_ready = {
+                let fwd = {
                     let x = self.ifo(seq).expect("requesting entry exists");
-                    self.forwarding_store(x).map(|s| s.done_cycle)
+                    self.forwarding_store(x).map(|s| (s.op.seq, s.done_cycle))
                 };
-                if let Some(store_done) = fwd_ready {
+                if let Some((store_seq, store_done)) = fwd {
                     // Store-to-load forwarding: 2-cycle effective latency
                     // once the store's data is in the LSQ.
                     let ready = store_done.max(t);
                     let l = (ready - t) + 2;
-                    (boundary(l, 1), false)
+                    (boundary(l, 1), LoadPath::Forwarded { store_seq })
                 } else {
                     let addr = u64::from(op.eff_addr.expect("loads carry addresses"));
-                    let res = self.memory.access(op.pc, addr, false);
-                    let l = 1 + u64::from(res.latency_cycles); // AGU + access
-                    (boundary(l, 1), res.outcome.is_high_latency())
+                    let res = self.memory.request(seq, op.pc, addr, false, t)?;
+                    let l = 1 + res.latency_cycles; // AGU + access
+                    (boundary(l, 1), LoadPath::Mem(res))
                 }
             }
-            ExecClass::Store | ExecClass::Branch => (boundary(1, 1), false),
+            ExecClass::Store | ExecClass::Branch => (boundary(1, 1), LoadPath::NotMem),
             ExecClass::IntAlu | ExecClass::SimdAlu => {
                 unreachable!("single-cycle ALU classes are always recyclable")
             }
-        }
+        })
     }
 }

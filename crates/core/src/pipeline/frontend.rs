@@ -276,6 +276,7 @@ impl PipelineState {
             chain_extended: false,
             committed: false,
             l1_miss: false,
+            mem_rejected: false,
             waiters: Vec::new(),
             in_ready: false,
         };

@@ -22,6 +22,7 @@ use crate::events::{EventSink, PipeEvent};
 use crate::sched::{IssueArgs, Scheduler, SelectRequest};
 use crate::tag_pred::LastArrival;
 
+use super::exec::LoadPath;
 use super::state::PipelineState;
 use super::wakeup::POOLS;
 
@@ -31,6 +32,9 @@ pub(crate) enum IssueOutcome {
     TagMispredict,
     SpecNotRecyclable,
     GpMispeculation,
+    /// The memory model structurally rejected the load (MSHRs full); the
+    /// entry is parked until the model's retry horizon.
+    MemRejected,
 }
 
 impl PipelineState {
@@ -173,7 +177,8 @@ impl PipelineState {
                     IssueOutcome::Issued => granted_this_cycle.push(seq),
                     IssueOutcome::TagMispredict
                     | IssueOutcome::SpecNotRecyclable
-                    | IssueOutcome::GpMispeculation => {}
+                    | IssueOutcome::GpMispeculation
+                    | IssueOutcome::MemRejected => {}
                 }
             }
             reqs.clear();
@@ -369,7 +374,7 @@ impl PipelineState {
 
         // Per-class completion/occupancy: recyclable single-cycle ops are
         // timed by the scheduler policy; everything else is mechanism.
-        let (timing, l1_miss) = if recyclable {
+        let (timing, path) = if recyclable {
             let args = IssueArgs {
                 op,
                 class,
@@ -378,10 +383,29 @@ impl PipelineState {
                 start,
                 cycle: t,
             };
-            (sched.on_issue(self, &args), false)
+            (sched.on_issue(self, &args), LoadPath::NotMem)
         } else {
-            self.multi_cycle_timing(seq, &op, class, t)
+            match self.multi_cycle_timing(seq, &op, class, t) {
+                Ok(r) => r,
+                Err(rej) => {
+                    // Structural rejection: every MSHR is busy with a
+                    // different line. Park the entry until the model's
+                    // retry horizon (the earliest in-flight fill); no FU
+                    // is consumed, though the grant slot is — exactly as
+                    // for a tag mispredict.
+                    let retry_cycle = rej.retry_at.max(t + 1);
+                    let xm = self.ifo_mut(seq).expect("entry");
+                    xm.mem_rejected = true;
+                    xm.earliest_req = retry_cycle;
+                    self.wakeup_defer(seq);
+                    if S::ENABLED {
+                        sink.record(t, &PipeEvent::MemReject { seq, retry_cycle });
+                    }
+                    return IssueOutcome::MemRejected;
+                }
+            }
         };
+        let l1_miss = matches!(&path, LoadPath::Mem(r) if r.outcome.is_high_latency());
         let (sel_ready, avail, done_cycle, occupancy, held_two) = (
             timing.sel_ready,
             timing.avail,
@@ -430,6 +454,29 @@ impl PipelineState {
             xm.held_two = held_two;
             xm.chain_len = chain_len;
             xm.l1_miss = l1_miss;
+            xm.mem_rejected = false;
+        }
+        match path {
+            LoadPath::Forwarded { store_seq } => {
+                self.report.stl_forwards += 1;
+                if S::ENABLED {
+                    sink.record(t, &PipeEvent::StoreForward { seq, store_seq });
+                }
+            }
+            LoadPath::Mem(res)
+                if S::ENABLED && (res.mshr_merged || res.port_wait > 0 || res.queue_wait > 0) =>
+            {
+                sink.record(
+                    t,
+                    &PipeEvent::MemContention {
+                        seq,
+                        merged: res.mshr_merged,
+                        port_wait: res.port_wait,
+                        queue_wait: res.queue_wait,
+                    },
+                );
+            }
+            _ => {}
         }
         self.rse_used -= 1;
         if S::ENABLED {

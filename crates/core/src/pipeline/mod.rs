@@ -518,6 +518,7 @@ impl Simulator {
         state.report.width_pred = state.width_pred.stats();
         state.report.branch = state.gshare.stats();
         state.report.memory = state.memory.stats();
+        state.report.mem_contention = state.memory.contention();
         debug_assert_eq!(state.report.stalls.total(), state.report.cycles);
         Ok(state.report)
     }
@@ -554,7 +555,12 @@ impl PipelineState {
                 }
             }
             Some(head) => {
-                if fu_denied {
+                if head.mem_rejected {
+                    // The oldest instruction is a load parked on a full
+                    // MSHR file — a structural memory-model stall, not FU
+                    // contention.
+                    StallCause::Mshr
+                } else if fu_denied {
                     StallCause::FuContention
                 } else if matches!(head.op.instr, Instr::Load { .. }) && self.load_blocked(head) {
                     StallCause::Memory
@@ -597,260 +603,4 @@ pub fn simulate_events<S: EventSink>(
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::expect_used)]
-mod tests {
-    use super::*;
-    use crate::config::SchedulerConfig;
-    use redsoc_isa::prelude::*;
-
-    fn logic_chain_trace(n: u64) -> Vec<DynOp> {
-        let mut ops = Vec::new();
-        for i in 0..n {
-            let instr = Instr::Alu {
-                op: AluOp::Eor,
-                dst: Some(r(1)),
-                src1: Some(r(1)),
-                op2: Operand2::Imm(0x55),
-                set_flags: false,
-            };
-            let mut d = DynOp::simple(i, (i % 64) as u32 * 4, instr);
-            d.eff_bits = 8;
-            ops.push(d);
-        }
-        ops.push(DynOp::simple(n, (n % 64) as u32 * 4, Instr::Halt));
-        ops
-    }
-
-    /// Build a simulator with one in-flight op that can never issue: the
-    /// watchdog must fire instead of spinning forever. White-box — pokes
-    /// `PipelineState` internals, so it lives with the pipeline.
-    fn stuck_simulator() -> Simulator {
-        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
-        let mut sim = Simulator::new(config).expect("valid config");
-        let instr = Instr::Alu {
-            op: AluOp::Add,
-            dst: Some(r(0)),
-            src1: Some(r(1)),
-            op2: Operand2::Imm(1),
-            set_flags: false,
-        };
-        sim.state
-            .allocate(&*sim.sched, DynOp::simple(0, 0, instr), &mut NullSink);
-        sim.state.ifos[0].earliest_req = u64::MAX; // never requests selection
-        sim.state.fetch_stopped = true;
-        sim
-    }
-
-    #[test]
-    fn watchdog_fires_on_stuck_pipeline_with_event_dump() {
-        use crate::events::RingSink;
-        let mut ring = RingSink::new(64);
-        let err = stuck_simulator()
-            .run_events(std::iter::empty(), &mut ring)
-            .expect_err("stuck pipeline must deadlock, not hang");
-        let SimError::Deadlock {
-            cycle,
-            committed,
-            recent_events,
-        } = err.clone()
-        else {
-            panic!("expected Deadlock, got {err:?}");
-        };
-        assert!(cycle > 100_000, "watchdog threshold: fired at {cycle}");
-        assert_eq!(committed, 0);
-        // The ring collapses the 100k-cycle stall run, so the dispatch that
-        // preceded it survives in the dump alongside the stall summary.
-        assert!(
-            recent_events.iter().any(|e| e.contains("StallCycle")),
-            "diagnostic must show the stall run: {recent_events:?}"
-        );
-        let msg = err.to_string();
-        assert!(msg.contains("no commit progress"));
-        assert!(msg.contains("pipeline events"));
-    }
-
-    #[test]
-    fn watchdog_without_events_reports_empty_dump() {
-        let err = stuck_simulator()
-            .run(std::iter::empty())
-            .expect_err("stuck pipeline must deadlock");
-        let SimError::Deadlock { recent_events, .. } = &err else {
-            panic!("expected Deadlock, got {err:?}");
-        };
-        assert!(recent_events.is_empty(), "NullSink retains nothing");
-        assert!(err.to_string().contains("events were disabled"));
-    }
-
-    #[test]
-    fn cycle_budget_cancels_a_long_run() {
-        let trace = logic_chain_trace(50_000);
-        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
-        let err = Simulator::new(config)
-            .expect("valid config")
-            .with_cancel(CancelToken::with_budget(512))
-            .run(trace.into_iter())
-            .expect_err("budget must cancel the run");
-        match err {
-            SimError::Cancelled {
-                cycle, committed, ..
-            } => {
-                // Polled every 1024 cycles, so detection lands on the next
-                // multiple of 1024 at or after the budget.
-                assert!((512..=2048).contains(&cycle), "cancelled at {cycle}");
-                assert!(committed < 50_000);
-            }
-            other => panic!("expected Cancelled, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn external_cancel_flag_stops_the_run_immediately() {
-        let trace = logic_chain_trace(5_000);
-        let token = CancelToken::new();
-        token.cancel();
-        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
-        let err = Simulator::new(config)
-            .expect("valid config")
-            .with_cancel(token)
-            .run(trace.into_iter())
-            .expect_err("pre-cancelled token must stop the run");
-        assert!(matches!(err, SimError::Cancelled { cycle: 0, .. }));
-    }
-
-    #[test]
-    fn unattached_token_runs_to_completion() {
-        let trace = logic_chain_trace(2_000);
-        let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
-        let rep = Simulator::new(config)
-            .expect("valid config")
-            .with_cancel(CancelToken::new())
-            .run(trace.into_iter())
-            .expect("no budget, no cancel: must complete");
-        assert_eq!(rep.committed, 2_001);
-    }
-
-    #[test]
-    fn checkpointed_run_matches_plain_run_and_restores_identically() {
-        let trace = logic_chain_trace(20_000);
-        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
-
-        let full = Simulator::new(config.clone())
-            .expect("valid config")
-            .run(trace.iter().copied())
-            .expect("plain run");
-
-        let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
-        let mut save = |cycle: u64, blob: Vec<u8>| snaps.push((cycle, blob));
-        let checkpointed = Simulator::new(config.clone())
-            .expect("valid config")
-            .run_events_checkpointed(
-                trace.iter().copied(),
-                &mut NullSink,
-                CheckpointPlan::new(1024, &mut save),
-            )
-            .expect("checkpointed run");
-        assert_eq!(full, checkpointed, "checkpointing must not perturb the run");
-        assert!(snaps.len() >= 2, "expected several checkpoints");
-
-        // Restore from a mid-run checkpoint and run the tail: the final
-        // report must be identical to the uninterrupted run's.
-        let (cycle, blob) = snaps[snaps.len() / 2].clone();
-        let (sim, cursor) = Simulator::restore(config.clone(), &blob, &trace).expect("restore");
-        assert_eq!(sim.state.cycle, cycle);
-        let resumed = sim
-            .run(
-                trace[usize::try_from(cursor).expect("cursor fits")..]
-                    .iter()
-                    .copied(),
-            )
-            .expect("resumed run");
-        assert_eq!(full, resumed, "restored run diverged");
-
-        // A restored run checkpointing at the same absolute interval must
-        // reproduce the later checkpoints byte-for-byte.
-        let (first_cycle, first_blob) = snaps[0].clone();
-        let (sim, cursor) = Simulator::restore(config, &first_blob, &trace).expect("restore first");
-        let mut resnap: Vec<(u64, Vec<u8>)> = Vec::new();
-        let mut save2 = |cycle: u64, blob: Vec<u8>| resnap.push((cycle, blob));
-        sim.run_events_checkpointed(
-            trace[usize::try_from(cursor).expect("cursor fits")..]
-                .iter()
-                .copied(),
-            &mut NullSink,
-            CheckpointPlan::new(1024, &mut save2),
-        )
-        .expect("resumed checkpointed run");
-        let tail: Vec<(u64, Vec<u8>)> = snaps
-            .iter()
-            .filter(|(c, _)| *c > first_cycle)
-            .cloned()
-            .collect();
-        assert_eq!(tail, resnap, "resumed checkpoints must be byte-identical");
-    }
-
-    #[test]
-    fn restore_rejects_mismatched_config_and_corruption() {
-        let trace = logic_chain_trace(4_000);
-        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
-        let sim = Simulator::new(config.clone()).expect("valid config");
-        let blob = sim.snapshot();
-
-        // Different scheduler mode → different config digest.
-        let other = CoreConfig::big().with_sched(SchedulerConfig::baseline());
-        assert_eq!(
-            Simulator::restore(other, &blob, &trace).err(),
-            Some(snapshot::SnapshotError::ConfigMismatch)
-        );
-
-        // A flipped byte fails the integrity digest.
-        let mut torn = blob.clone();
-        let mid = torn.len() / 2;
-        torn[mid] ^= 0x10;
-        assert_eq!(
-            Simulator::restore(config.clone(), &torn, &trace).err(),
-            Some(snapshot::SnapshotError::DigestMismatch)
-        );
-
-        // A truncated blob never parses.
-        assert!(Simulator::restore(config.clone(), &blob[..blob.len() / 2], &trace).is_err());
-
-        // Not a snapshot at all.
-        assert_eq!(
-            Simulator::restore(config, b"definitely not a snapshot", &trace).err(),
-            Some(snapshot::SnapshotError::BadMagic)
-        );
-    }
-
-    #[test]
-    fn restore_rejects_a_foreign_trace() {
-        let trace = logic_chain_trace(6_000);
-        let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
-        let mut snaps: Vec<Vec<u8>> = Vec::new();
-        let mut save = |_cycle: u64, blob: Vec<u8>| snaps.push(blob);
-        Simulator::new(config.clone())
-            .expect("valid config")
-            .run_events_checkpointed(
-                trace.iter().copied(),
-                &mut NullSink,
-                CheckpointPlan::new(1024, &mut save),
-            )
-            .expect("checkpointed run");
-        let blob = snaps.first().expect("at least one checkpoint");
-        // A shorter trace cannot rehydrate the in-flight window.
-        let short = logic_chain_trace(10);
-        assert!(matches!(
-            Simulator::restore(config, blob, &short).err(),
-            Some(snapshot::SnapshotError::TraceMismatch { .. })
-        ));
-    }
-
-    #[test]
-    fn configured_deadlock_threshold_is_validated_at_construction() {
-        let mut config = CoreConfig::big();
-        config.deadlock_cycles = 0;
-        assert!(matches!(
-            Simulator::new(config),
-            Err(SimError::BadConfig(_))
-        ));
-    }
-}
+mod tests;

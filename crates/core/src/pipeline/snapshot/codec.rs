@@ -11,7 +11,14 @@ use super::SnapshotError;
 pub(super) const MAGIC: [u8; 4] = *b"RSNP";
 
 /// Current snapshot format version.
-pub(super) const VERSION: u32 = 1;
+///
+/// v2: the memory section became the [`MemoryModel`]'s opaque
+/// self-validating blob (MSHR/port/DRAM-queue state included), the
+/// in-flight window gained the `mem_rejected` flag and the report gained
+/// the contention counters and `stl_forwards`.
+///
+/// [`MemoryModel`]: redsoc_mem::MemoryModel
+pub(super) const VERSION: u32 = 2;
 
 /// FNV-1a 64-bit over `bytes` — the same digest family the bench journal
 /// uses, kept dependency-free.

@@ -6,10 +6,7 @@ use std::collections::{BTreeMap, VecDeque};
 use redsoc_isa::opcode::ExecClass;
 use redsoc_isa::reg::ArchReg;
 use redsoc_isa::trace::DynOp;
-use redsoc_mem::{
-    CacheState, HierarchyState, HierarchyStats, LineState, PrefetchEntryState, PrefetchState,
-    PrefetchStats,
-};
+use redsoc_mem::{ContentionStats, HierarchyStats};
 use redsoc_timing::pvt::{PvtModel, PvtState};
 use redsoc_timing::slack::SlackLut;
 use redsoc_timing::slack::WidthClass;
@@ -25,8 +22,6 @@ use crate::tag_pred::{LastArrival, TagPredStats};
 
 use super::codec::{SnapReader, MAGIC, VERSION};
 use super::{config_digest, SnapshotError};
-
-use redsoc_mem::CacheStats;
 
 fn exec_class_from(code: u8) -> Result<ExecClass, SnapshotError> {
     Ok(match code {
@@ -257,9 +252,13 @@ pub(crate) fn decode_into(
     };
     state.gshare.import_state(&gs).map_err(corrupt)?;
 
-    // Section: memory hierarchy.
-    let mem = decode_memory(&mut r)?;
-    state.memory.import_state(&mem).map_err(corrupt)?;
+    // Section: memory model (opaque blob; the model validates its own
+    // tag, geometry and structural limits).
+    let mem_blob = r.bytes()?;
+    state
+        .memory
+        .restore(mem_blob)
+        .map_err(|e| corrupt(format!("memory state: {e}")))?;
 
     // Section: accumulated statistics.
     state.report = decode_report(&mut r)?;
@@ -348,71 +347,9 @@ fn decode_ifo(r: &mut SnapReader<'_>, op: DynOp) -> Result<Ifo, SnapshotError> {
         chain_extended: r.bool()?,
         committed: r.bool()?,
         l1_miss: r.bool()?,
+        mem_rejected: r.bool()?,
         waiters: r.u64_vec()?,
         in_ready: r.bool()?,
-    })
-}
-
-fn decode_cache(r: &mut SnapReader<'_>) -> Result<CacheState, SnapshotError> {
-    let line_count = r.len()?;
-    let mut lines = Vec::with_capacity(line_count);
-    for _ in 0..line_count {
-        lines.push(LineState {
-            valid: r.bool()?,
-            dirty: r.bool()?,
-            tag: r.u64()?,
-            lru: r.u64()?,
-        });
-    }
-    Ok(CacheState {
-        lines,
-        tick: r.u64()?,
-        stats: CacheStats {
-            accesses: r.u64()?,
-            misses: r.u64()?,
-            prefetch_fills: r.u64()?,
-            writebacks: r.u64()?,
-        },
-    })
-}
-
-fn decode_memory(r: &mut SnapReader<'_>) -> Result<HierarchyState, SnapshotError> {
-    let l1 = decode_cache(r)?;
-    let l2 = decode_cache(r)?;
-    let prefetcher = match r.u8()? {
-        0 => None,
-        1 => {
-            let entry_count = r.len()?;
-            let mut entries = Vec::with_capacity(entry_count);
-            for _ in 0..entry_count {
-                entries.push(PrefetchEntryState {
-                    valid: r.bool()?,
-                    pc_tag: r.u32()?,
-                    last_addr: r.u64()?,
-                    #[allow(clippy::cast_possible_wrap)] // inverse of the encode cast
-                    stride: r.u64()? as i64,
-                    state: r.u8()?,
-                });
-            }
-            Some(PrefetchState {
-                entries,
-                stats: PrefetchStats {
-                    trains: r.u64()?,
-                    issued: r.u64()?,
-                },
-            })
-        }
-        flag => return Err(corrupt(format!("bad prefetcher flag {flag}"))),
-    };
-    Ok(HierarchyState {
-        l1,
-        l2,
-        prefetcher,
-        stats: HierarchyStats {
-            l1_hits: r.u64()?,
-            l2_hits: r.u64()?,
-            mem_accesses: r.u64()?,
-        },
     })
 }
 
@@ -467,6 +404,13 @@ fn decode_report(r: &mut SnapReader<'_>) -> Result<SimReport, SnapshotError> {
             l2_hits: r.u64()?,
             mem_accesses: r.u64()?,
         },
+        mem_contention: ContentionStats {
+            mshr_rejects: r.u64()?,
+            mshr_merges: r.u64()?,
+            port_wait_cycles: r.u64()?,
+            dram_wait_cycles: r.u64()?,
+        },
+        stl_forwards: r.u64()?,
         ..SimReport::default()
     };
     for cause in StallCause::all() {
@@ -487,6 +431,7 @@ fn set_stall(report: &mut SimReport, cause: StallCause, n: u64) {
         StallCause::Memory => &mut report.stalls.memory,
         StallCause::SlackHold => &mut report.stalls.slack_hold,
         StallCause::ExecLatency => &mut report.stalls.exec_latency,
+        StallCause::Mshr => &mut report.stalls.mshr,
     };
     *slot = n;
 }

@@ -2,7 +2,6 @@
 //! mirrors it read-for-read, and `SnapReader::exhausted` catches drift.
 
 use redsoc_isa::opcode::ExecClass;
-use redsoc_mem::HierarchyState;
 use redsoc_timing::pvt::PvtState;
 
 use crate::fu::PoolKind;
@@ -154,8 +153,9 @@ pub(crate) fn encode(state: &PipelineState, sched: &dyn Scheduler) -> Vec<u8> {
     w.u64(gs.stats.predictions);
     w.u64(gs.stats.mispredictions);
 
-    // Section: memory hierarchy.
-    encode_memory(&mut w, &state.memory.export_state());
+    // Section: memory model (opaque, self-validating — the model encodes
+    // its own geometry/limits and rejects mismatched blobs on restore).
+    w.bytes(&state.memory.snapshot());
 
     // Section: accumulated statistics.
     encode_report(&mut w, &state.report);
@@ -226,45 +226,9 @@ fn encode_ifo(w: &mut SnapWriter, ifo: &Ifo) {
     w.bool(ifo.chain_extended);
     w.bool(ifo.committed);
     w.bool(ifo.l1_miss);
+    w.bool(ifo.mem_rejected);
     w.u64_slice(&ifo.waiters);
     w.bool(ifo.in_ready);
-}
-
-fn encode_memory(w: &mut SnapWriter, mem: &HierarchyState) {
-    for cache in [&mem.l1, &mem.l2] {
-        w.len(cache.lines.len());
-        for line in &cache.lines {
-            w.bool(line.valid);
-            w.bool(line.dirty);
-            w.u64(line.tag);
-            w.u64(line.lru);
-        }
-        w.u64(cache.tick);
-        w.u64(cache.stats.accesses);
-        w.u64(cache.stats.misses);
-        w.u64(cache.stats.prefetch_fills);
-        w.u64(cache.stats.writebacks);
-    }
-    match &mem.prefetcher {
-        None => w.u8(0),
-        Some(pf) => {
-            w.u8(1);
-            w.len(pf.entries.len());
-            for e in &pf.entries {
-                w.bool(e.valid);
-                w.u32(e.pc_tag);
-                w.u64(e.last_addr);
-                #[allow(clippy::cast_sign_loss)] // round-trips via the cast back
-                w.u64(e.stride as u64);
-                w.u8(e.state);
-            }
-            w.u64(pf.stats.trains);
-            w.u64(pf.stats.issued);
-        }
-    }
-    w.u64(mem.stats.l1_hits);
-    w.u64(mem.stats.l2_hits);
-    w.u64(mem.stats.mem_accesses);
 }
 
 fn encode_report(w: &mut SnapWriter, report: &SimReport) {
@@ -299,6 +263,11 @@ fn encode_report(w: &mut SnapWriter, report: &SimReport) {
     w.u64(report.memory.l1_hits);
     w.u64(report.memory.l2_hits);
     w.u64(report.memory.mem_accesses);
+    w.u64(report.mem_contention.mshr_rejects);
+    w.u64(report.mem_contention.mshr_merges);
+    w.u64(report.mem_contention.port_wait_cycles);
+    w.u64(report.mem_contention.dram_wait_cycles);
+    w.u64(report.stl_forwards);
     for cause in StallCause::all() {
         w.u64(report.stalls.count(cause));
     }

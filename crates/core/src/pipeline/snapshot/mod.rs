@@ -5,9 +5,12 @@
 //! fetch queue), the functional-unit pools, the event-driven wakeup
 //! structures (per-pool ready sets, timer wheel, far-future overflow,
 //! broadcast subscriptions), all predictor tables (width, tag, branch),
-//! the memory hierarchy (cache tag arrays, prefetcher), the PVT/LUT
+//! the memory model's own opaque blob (`MemoryModel::snapshot` — cache
+//! tag arrays, prefetcher, and for the contended hierarchy the live
+//! MSHR file, port schedules and DRAM queue), the PVT/LUT
 //! recalibration epoch state, and the accumulated statistics. Scheduler
-//! *policy* state rides along through [`Scheduler::snapshot`] /
+//! *policy* state rides along through
+//! [`Scheduler::snapshot`](crate::sched::Scheduler::snapshot) /
 //! [`Scheduler::restore`](crate::sched::Scheduler::restore) — the
 //! contract is that anything a scheduler mutates after construction must
 //! round-trip, and an empty blob is correct for stateless policies (all
@@ -26,7 +29,7 @@
 //! # Wire format
 //!
 //! `"RSNP"` magic, a format version, a config digest (FNV-1a over the
-//! `Debug` rendering of the [`CoreConfig`](crate::config::CoreConfig)
+//! `Debug` rendering of the [`CoreConfig`]
 //! plus the scheduler name — restores into a different configuration are
 //! rejected up front), the state sections in a fixed order, and a
 //! trailing FNV-1a digest over all preceding bytes. Torn or bit-flipped

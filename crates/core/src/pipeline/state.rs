@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use redsoc_isa::opcode::ExecClass;
 use redsoc_isa::reg::{ArchReg, NUM_ARCH_REGS};
 use redsoc_isa::trace::DynOp;
-use redsoc_mem::MemoryHierarchy;
+use redsoc_mem::{build_memory_model, MemoryModel};
 use redsoc_timing::optime::MultiCycleLatencies;
 use redsoc_timing::pvt::PvtModel;
 use redsoc_timing::slack::{SlackLut, WidthClass};
@@ -87,6 +87,10 @@ pub struct Ifo {
     pub committed: bool,
     /// Whether the op missed in the L1 (loads/stores).
     pub l1_miss: bool,
+    /// Whether the memory model structurally rejected this load's last
+    /// issue attempt (MSHRs full) — the `StallCause::Mshr` attribution
+    /// flag, cleared when the op finally issues.
+    pub mem_rejected: bool,
     /// Event-driven wakeup: sequence tags of dispatched consumers waiting
     /// on this entry's issue broadcast (drained exactly once at issue; see
     /// [`crate::pipeline::wakeup`]).
@@ -152,7 +156,9 @@ pub struct PipelineState {
     pub(crate) width_pred: WidthPredictor,
     pub(crate) tag_pred: TagPredictor,
     pub(crate) gshare: Gshare,
-    pub(crate) memory: MemoryHierarchy,
+    /// The memory port: loads request service at issue, stores at
+    /// retirement. Built from [`CoreConfig::mem_model`].
+    pub(crate) memory: Box<dyn MemoryModel>,
 
     // Event-driven wakeup bookkeeping + persistent issue-stage scratch.
     pub(crate) wakeup: WakeupState,
@@ -173,8 +179,13 @@ impl PipelineState {
     pub(crate) fn new(config: CoreConfig) -> Result<Self, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
         let quant = config.sched.quant();
-        let memory =
-            MemoryHierarchy::new(config.l1, config.l2, config.mem_latencies, config.prefetch);
+        let memory = build_memory_model(
+            config.mem_model,
+            config.l1,
+            config.l2,
+            config.mem_latencies,
+            config.prefetch,
+        );
         let pvt = if config.sched.pvt_guard_band {
             PvtModel::nominal()
         } else {

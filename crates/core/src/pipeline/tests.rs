@@ -1,0 +1,487 @@
+//! Integration-style unit tests for the staged pipeline: golden
+//! behaviour, checkpoint/restore round-trips, store-to-load
+//! forwarding, and the contended memory model (split out of `mod.rs`
+//! to keep it within the module size budget).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use super::*;
+use crate::config::SchedulerConfig;
+use redsoc_isa::prelude::*;
+
+fn logic_chain_trace(n: u64) -> Vec<DynOp> {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        let instr = Instr::Alu {
+            op: AluOp::Eor,
+            dst: Some(r(1)),
+            src1: Some(r(1)),
+            op2: Operand2::Imm(0x55),
+            set_flags: false,
+        };
+        let mut d = DynOp::simple(i, (i % 64) as u32 * 4, instr);
+        d.eff_bits = 8;
+        ops.push(d);
+    }
+    ops.push(DynOp::simple(n, (n % 64) as u32 * 4, Instr::Halt));
+    ops
+}
+
+/// Build a simulator with one in-flight op that can never issue: the
+/// watchdog must fire instead of spinning forever. White-box — pokes
+/// `PipelineState` internals, so it lives with the pipeline.
+fn stuck_simulator() -> Simulator {
+    let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+    let mut sim = Simulator::new(config).expect("valid config");
+    let instr = Instr::Alu {
+        op: AluOp::Add,
+        dst: Some(r(0)),
+        src1: Some(r(1)),
+        op2: Operand2::Imm(1),
+        set_flags: false,
+    };
+    sim.state
+        .allocate(&*sim.sched, DynOp::simple(0, 0, instr), &mut NullSink);
+    sim.state.ifos[0].earliest_req = u64::MAX; // never requests selection
+    sim.state.fetch_stopped = true;
+    sim
+}
+
+#[test]
+fn watchdog_fires_on_stuck_pipeline_with_event_dump() {
+    use crate::events::RingSink;
+    let mut ring = RingSink::new(64);
+    let err = stuck_simulator()
+        .run_events(std::iter::empty(), &mut ring)
+        .expect_err("stuck pipeline must deadlock, not hang");
+    let SimError::Deadlock {
+        cycle,
+        committed,
+        recent_events,
+    } = err.clone()
+    else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(cycle > 100_000, "watchdog threshold: fired at {cycle}");
+    assert_eq!(committed, 0);
+    // The ring collapses the 100k-cycle stall run, so the dispatch that
+    // preceded it survives in the dump alongside the stall summary.
+    assert!(
+        recent_events.iter().any(|e| e.contains("StallCycle")),
+        "diagnostic must show the stall run: {recent_events:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("no commit progress"));
+    assert!(msg.contains("pipeline events"));
+}
+
+#[test]
+fn watchdog_without_events_reports_empty_dump() {
+    let err = stuck_simulator()
+        .run(std::iter::empty())
+        .expect_err("stuck pipeline must deadlock");
+    let SimError::Deadlock { recent_events, .. } = &err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(recent_events.is_empty(), "NullSink retains nothing");
+    assert!(err.to_string().contains("events were disabled"));
+}
+
+#[test]
+fn cycle_budget_cancels_a_long_run() {
+    let trace = logic_chain_trace(50_000);
+    let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    let err = Simulator::new(config)
+        .expect("valid config")
+        .with_cancel(CancelToken::with_budget(512))
+        .run(trace.into_iter())
+        .expect_err("budget must cancel the run");
+    match err {
+        SimError::Cancelled {
+            cycle, committed, ..
+        } => {
+            // Polled every 1024 cycles, so detection lands on the next
+            // multiple of 1024 at or after the budget.
+            assert!((512..=2048).contains(&cycle), "cancelled at {cycle}");
+            assert!(committed < 50_000);
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn external_cancel_flag_stops_the_run_immediately() {
+    let trace = logic_chain_trace(5_000);
+    let token = CancelToken::new();
+    token.cancel();
+    let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    let err = Simulator::new(config)
+        .expect("valid config")
+        .with_cancel(token)
+        .run(trace.into_iter())
+        .expect_err("pre-cancelled token must stop the run");
+    assert!(matches!(err, SimError::Cancelled { cycle: 0, .. }));
+}
+
+#[test]
+fn unattached_token_runs_to_completion() {
+    let trace = logic_chain_trace(2_000);
+    let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    let rep = Simulator::new(config)
+        .expect("valid config")
+        .with_cancel(CancelToken::new())
+        .run(trace.into_iter())
+        .expect("no budget, no cancel: must complete");
+    assert_eq!(rep.committed, 2_001);
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run_and_restores_identically() {
+    let trace = logic_chain_trace(20_000);
+    let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+
+    let full = Simulator::new(config.clone())
+        .expect("valid config")
+        .run(trace.iter().copied())
+        .expect("plain run");
+
+    let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut save = |cycle: u64, blob: Vec<u8>| snaps.push((cycle, blob));
+    let checkpointed = Simulator::new(config.clone())
+        .expect("valid config")
+        .run_events_checkpointed(
+            trace.iter().copied(),
+            &mut NullSink,
+            CheckpointPlan::new(1024, &mut save),
+        )
+        .expect("checkpointed run");
+    assert_eq!(full, checkpointed, "checkpointing must not perturb the run");
+    assert!(snaps.len() >= 2, "expected several checkpoints");
+
+    // Restore from a mid-run checkpoint and run the tail: the final
+    // report must be identical to the uninterrupted run's.
+    let (cycle, blob) = snaps[snaps.len() / 2].clone();
+    let (sim, cursor) = Simulator::restore(config.clone(), &blob, &trace).expect("restore");
+    assert_eq!(sim.state.cycle, cycle);
+    let resumed = sim
+        .run(
+            trace[usize::try_from(cursor).expect("cursor fits")..]
+                .iter()
+                .copied(),
+        )
+        .expect("resumed run");
+    assert_eq!(full, resumed, "restored run diverged");
+
+    // A restored run checkpointing at the same absolute interval must
+    // reproduce the later checkpoints byte-for-byte.
+    let (first_cycle, first_blob) = snaps[0].clone();
+    let (sim, cursor) = Simulator::restore(config, &first_blob, &trace).expect("restore first");
+    let mut resnap: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut save2 = |cycle: u64, blob: Vec<u8>| resnap.push((cycle, blob));
+    sim.run_events_checkpointed(
+        trace[usize::try_from(cursor).expect("cursor fits")..]
+            .iter()
+            .copied(),
+        &mut NullSink,
+        CheckpointPlan::new(1024, &mut save2),
+    )
+    .expect("resumed checkpointed run");
+    let tail: Vec<(u64, Vec<u8>)> = snaps
+        .iter()
+        .filter(|(c, _)| *c > first_cycle)
+        .cloned()
+        .collect();
+    assert_eq!(tail, resnap, "resumed checkpoints must be byte-identical");
+}
+
+fn load_op(seq: u64, pc: u32, addr: u32) -> DynOp {
+    let mut d = DynOp::simple(
+        seq,
+        pc,
+        Instr::Load {
+            dst: ArchReg::int(2),
+            base: ArchReg::int(1),
+            offset: 0,
+            width: redsoc_isa::opcode::MemWidth::B4,
+        },
+    );
+    d.eff_addr = Some(addr);
+    d
+}
+
+fn store_op(seq: u64, pc: u32, addr: u32) -> DynOp {
+    let mut d = DynOp::simple(
+        seq,
+        pc,
+        Instr::Store {
+            src: ArchReg::int(3),
+            base: ArchReg::int(1),
+            offset: 0,
+            width: redsoc_isa::opcode::MemWidth::B4,
+        },
+    );
+    d.eff_addr = Some(addr);
+    d
+}
+
+#[test]
+fn store_to_load_forwarding_emits_event_and_stat() {
+    use crate::events::VecSink;
+    let trace = vec![
+        store_op(0, 0, 0x100),
+        load_op(1, 4, 0x100),
+        DynOp::simple(2, 8, Instr::Halt),
+    ];
+    let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    let mut sink = VecSink::new();
+    let rep = Simulator::new(config)
+        .expect("valid config")
+        .run_events(trace.into_iter(), &mut sink)
+        .expect("run");
+    assert_eq!(rep.stl_forwards, 1, "the load must forward from the store");
+    assert!(
+        sink.events.iter().any(|(_, e)| matches!(
+            e,
+            PipeEvent::StoreForward {
+                seq: 1,
+                store_seq: 0
+            }
+        )),
+        "StoreForward must name load #1 and store #0: {:?}",
+        sink.events
+    );
+    // The forwarded load never reached the cache hierarchy: the only
+    // access is the store's own, at retirement.
+    let m = &rep.memory;
+    assert_eq!(
+        m.l1_hits + m.l2_hits + m.mem_accesses,
+        1,
+        "only the store may touch the hierarchy"
+    );
+}
+
+#[test]
+fn partially_overlapping_unissued_store_blocks_but_still_forwards_when_issued() {
+    // White-box: allocate a store and a load whose byte ranges overlap
+    // only partially ([0x100,0x104) vs [0x102,0x106)).
+    let config = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    let mut sim = Simulator::new(config).expect("valid config");
+    sim.state
+        .allocate(&*sim.sched, store_op(0, 0, 0x100), &mut NullSink);
+    sim.state
+        .allocate(&*sim.sched, load_op(1, 4, 0x102), &mut NullSink);
+    sim.state
+        .allocate(&*sim.sched, load_op(2, 8, 0x104), &mut NullSink);
+
+    // While the store is unissued its data is unavailable: the
+    // overlapping load is blocked, the adjacent (non-overlapping)
+    // load is not.
+    assert!(!sim.state.ifos[0].issued);
+    assert!(
+        sim.state.load_blocked(&sim.state.ifos[1]),
+        "partial overlap with an unissued store must block the load"
+    );
+    assert!(
+        !sim.state.load_blocked(&sim.state.ifos[2]),
+        "byte ranges [0x100,0x104) and [0x104,0x108) do not overlap"
+    );
+
+    // Once the store has issued, the same overlap forwards instead.
+    sim.state.ifos[0].issued = true;
+    assert!(!sim.state.load_blocked(&sim.state.ifos[1]));
+    assert_eq!(
+        sim.state
+            .forwarding_store(&sim.state.ifos[1])
+            .map(|s| s.op.seq),
+        Some(0),
+        "partial overlap forwards from the youngest older store"
+    );
+    assert!(
+        sim.state.forwarding_store(&sim.state.ifos[2]).is_none(),
+        "non-overlapping load must go to memory"
+    );
+}
+
+/// A strided miss stream against a deliberately tiny contended
+/// hierarchy: every classic-model snapshot guarantee must carry over,
+/// including restoring mid-flight with non-empty MSHRs.
+#[test]
+fn contended_model_checkpoints_restore_identically_with_inflight_misses() {
+    use redsoc_mem::{ContendedConfig, MemModelConfig};
+    // Bursts of a pointer-chase pair plus independent fillers, all
+    // missing (64-byte stride over 1 MiB). The chased load becomes
+    // ready only after its producer load completes — by which time
+    // the out-of-order fillers (including the next burst's) have
+    // filled the tiny MSHR file — so it is rejected *while at the
+    // ROB head*, exercising the Mshr stall bucket, not just the
+    // reject counter.
+    let mut trace: Vec<DynOp> = Vec::new();
+    let addr = |i: u64| u32::try_from((i * 64) % (1 << 20)).expect("fits");
+    let mut seq = 0u64;
+    for burst in 0..800u64 {
+        let producer = {
+            let mut d = load_op(seq, (seq % 64) as u32 * 4, addr(burst * 6));
+            d.instr = Instr::Load {
+                dst: ArchReg::int(2),
+                base: ArchReg::int(1),
+                offset: 0,
+                width: redsoc_isa::opcode::MemWidth::B4,
+            };
+            d
+        };
+        trace.push(producer);
+        seq += 1;
+        let chased = {
+            let mut d = load_op(seq, (seq % 64) as u32 * 4, addr(burst * 6 + 1));
+            d.instr = Instr::Load {
+                dst: ArchReg::int(5),
+                base: ArchReg::int(2), // depends on the producer's result
+                offset: 0,
+                width: redsoc_isa::opcode::MemWidth::B4,
+            };
+            d
+        };
+        trace.push(chased);
+        seq += 1;
+        for k in 2..6u64 {
+            trace.push(load_op(seq, (seq % 64) as u32 * 4, addr(burst * 6 + k)));
+            seq += 1;
+        }
+    }
+    trace.push(DynOp::simple(seq, 0, Instr::Halt));
+
+    let config = CoreConfig::big()
+        .with_sched(SchedulerConfig::redsoc())
+        .with_mem_model(MemModelConfig::Contended(ContendedConfig {
+            mshrs: 2,
+            l1_ports: 1,
+            l2_ports: 1,
+            dram_interval: 16,
+        }));
+
+    let full = Simulator::new(config.clone())
+        .expect("valid config")
+        .run(trace.iter().copied())
+        .expect("plain run");
+    assert_eq!(
+        full.stalls.total(),
+        full.cycles,
+        "stall partition must hold under the contended model"
+    );
+    assert!(
+        full.mem_contention.mshr_rejects > 0,
+        "the tiny MSHR file must actually reject: {:?}",
+        full.mem_contention
+    );
+    assert!(
+        full.stalls.count(StallCause::Mshr) > 0,
+        "rejected head loads must be attributed to the Mshr bucket"
+    );
+
+    let mut snaps: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut save = |cycle: u64, blob: Vec<u8>| snaps.push((cycle, blob));
+    let checkpointed = Simulator::new(config.clone())
+        .expect("valid config")
+        .run_events_checkpointed(
+            trace.iter().copied(),
+            &mut NullSink,
+            CheckpointPlan::new(512, &mut save),
+        )
+        .expect("checkpointed run");
+    assert_eq!(full, checkpointed, "checkpointing must not perturb the run");
+
+    // Find a checkpoint taken while misses were outstanding — the
+    // MSHR file round-trips through the snapshot, so the restored
+    // model must report the same in-flight count and the resumed run
+    // must finish identically.
+    let mut restored_with_inflight = 0;
+    for (cycle, blob) in &snaps {
+        let (sim, cursor) = Simulator::restore(config.clone(), blob, &trace).expect("restore");
+        assert_eq!(sim.state.cycle, *cycle);
+        if sim.state.memory.inflight(*cycle) == 0 {
+            continue;
+        }
+        restored_with_inflight += 1;
+        let resumed = sim
+            .run(
+                trace[usize::try_from(cursor).expect("cursor fits")..]
+                    .iter()
+                    .copied(),
+            )
+            .expect("resumed run");
+        assert_eq!(full, resumed, "mid-flight restore diverged at {cycle}");
+        if restored_with_inflight >= 3 {
+            break;
+        }
+    }
+    assert!(
+        restored_with_inflight > 0,
+        "no checkpoint caught the MSHRs non-empty — the property was never exercised"
+    );
+}
+
+#[test]
+fn restore_rejects_mismatched_config_and_corruption() {
+    let trace = logic_chain_trace(4_000);
+    let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+    let sim = Simulator::new(config.clone()).expect("valid config");
+    let blob = sim.snapshot();
+
+    // Different scheduler mode → different config digest.
+    let other = CoreConfig::big().with_sched(SchedulerConfig::baseline());
+    assert_eq!(
+        Simulator::restore(other, &blob, &trace).err(),
+        Some(snapshot::SnapshotError::ConfigMismatch)
+    );
+
+    // A flipped byte fails the integrity digest.
+    let mut torn = blob.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x10;
+    assert_eq!(
+        Simulator::restore(config.clone(), &torn, &trace).err(),
+        Some(snapshot::SnapshotError::DigestMismatch)
+    );
+
+    // A truncated blob never parses.
+    assert!(Simulator::restore(config.clone(), &blob[..blob.len() / 2], &trace).is_err());
+
+    // Not a snapshot at all.
+    assert_eq!(
+        Simulator::restore(config, b"definitely not a snapshot", &trace).err(),
+        Some(snapshot::SnapshotError::BadMagic)
+    );
+}
+
+#[test]
+fn restore_rejects_a_foreign_trace() {
+    let trace = logic_chain_trace(6_000);
+    let config = CoreConfig::big().with_sched(SchedulerConfig::redsoc());
+    let mut snaps: Vec<Vec<u8>> = Vec::new();
+    let mut save = |_cycle: u64, blob: Vec<u8>| snaps.push(blob);
+    Simulator::new(config.clone())
+        .expect("valid config")
+        .run_events_checkpointed(
+            trace.iter().copied(),
+            &mut NullSink,
+            CheckpointPlan::new(1024, &mut save),
+        )
+        .expect("checkpointed run");
+    let blob = snaps.first().expect("at least one checkpoint");
+    // A shorter trace cannot rehydrate the in-flight window.
+    let short = logic_chain_trace(10);
+    assert!(matches!(
+        Simulator::restore(config, blob, &short).err(),
+        Some(snapshot::SnapshotError::TraceMismatch { .. })
+    ));
+}
+
+#[test]
+fn configured_deadlock_threshold_is_validated_at_construction() {
+    let mut config = CoreConfig::big();
+    config.deadlock_cycles = 0;
+    assert!(matches!(
+        Simulator::new(config),
+        Err(SimError::BadConfig(_))
+    ));
+}

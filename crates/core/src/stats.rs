@@ -9,7 +9,7 @@ use redsoc_timing::slack::{SlackBucket, SlackLut, WidthClass};
 
 use crate::branch::BranchStats;
 use crate::tag_pred::TagPredStats;
-use redsoc_mem::HierarchyStats;
+use redsoc_mem::{ContentionStats, HierarchyStats};
 use redsoc_timing::width_predictor::WidthPredictorStats;
 
 /// Fig. 10's operation categories.
@@ -228,12 +228,16 @@ pub enum StallCause {
     /// The ROB head is mid-execution on a multi-cycle non-memory op, or
     /// otherwise waiting on operands to arrive.
     ExecLatency,
+    /// The ROB head is a load the memory model structurally rejected
+    /// (every MSHR busy with a different line); it is parked until the
+    /// model's retry horizon. Only the contended model produces this.
+    Mshr,
 }
 
 impl StallCause {
     /// Every cause, in display order.
     #[must_use]
-    pub fn all() -> [StallCause; 9] {
+    pub fn all() -> [StallCause; 10] {
         [
             StallCause::Busy,
             StallCause::Frontend,
@@ -244,6 +248,7 @@ impl StallCause {
             StallCause::Memory,
             StallCause::SlackHold,
             StallCause::ExecLatency,
+            StallCause::Mshr,
         ]
     }
 
@@ -261,6 +266,7 @@ impl StallCause {
             StallCause::Memory => "memory",
             StallCause::SlackHold => "slack_hold",
             StallCause::ExecLatency => "exec_latency",
+            StallCause::Mshr => "mshr",
         }
     }
 }
@@ -288,6 +294,8 @@ pub struct StallBreakdown {
     pub slack_hold: u64,
     /// Cycles stalled on multi-cycle execution / operand arrival.
     pub exec_latency: u64,
+    /// Cycles stalled on a structurally rejected load (MSHRs full).
+    pub mshr: u64,
 }
 
 impl StallBreakdown {
@@ -307,6 +315,7 @@ impl StallBreakdown {
             StallCause::Memory => &mut self.memory,
             StallCause::SlackHold => &mut self.slack_hold,
             StallCause::ExecLatency => &mut self.exec_latency,
+            StallCause::Mshr => &mut self.mshr,
         }
     }
 
@@ -323,6 +332,7 @@ impl StallBreakdown {
             StallCause::Memory => self.memory,
             StallCause::SlackHold => self.slack_hold,
             StallCause::ExecLatency => self.exec_latency,
+            StallCause::Mshr => self.mshr,
         }
     }
 
@@ -369,6 +379,12 @@ pub struct SimReport {
     pub branch: BranchStats,
     /// Memory hierarchy results.
     pub memory: HierarchyStats,
+    /// Memory-model contention counters (MSHR rejects/merges, port and
+    /// DRAM queue waits). All zero under the classic model.
+    pub mem_contention: ContentionStats,
+    /// Loads whose value came from an older in-flight store (store-to-
+    /// load forwarding) rather than the cache hierarchy.
+    pub stl_forwards: u64,
     /// Per-cycle stall attribution; `stalls.total() == cycles` always.
     pub stalls: StallBreakdown,
 }
@@ -494,10 +510,11 @@ mod tests {
                 b.bump(cause);
             }
         }
-        // 1 + 2 + ... + 9 charges in total.
-        assert_eq!(b.total(), 45);
+        // 1 + 2 + ... + 10 charges in total.
+        assert_eq!(b.total(), 55);
         assert_eq!(b.count(StallCause::Busy), 1);
         assert_eq!(b.count(StallCause::ExecLatency), 9);
+        assert_eq!(b.count(StallCause::Mshr), 10);
         assert_eq!(b.busy + b.frontend + b.rob_full + b.rs_full, 1 + 2 + 3 + 4);
         for cause in StallCause::all() {
             assert!(!cause.label().is_empty());

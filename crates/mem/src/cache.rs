@@ -5,6 +5,63 @@
 //! interpreter's job in the trace-driven methodology. Latency is assigned
 //! by the [`MemoryHierarchy`](crate::hierarchy::MemoryHierarchy).
 
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`CacheConfig`] is not a buildable geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `size_bytes`, `ways`, or `line_bytes` is zero.
+    ZeroField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// `line_bytes` is not a power of two.
+    LineNotPowerOfTwo {
+        /// The rejected line size.
+        line_bytes: u32,
+    },
+    /// `ways * line_bytes` does not divide `size_bytes`, so `sets()`
+    /// would silently truncate.
+    SizeNotMultiple {
+        /// The configured capacity.
+        size_bytes: u32,
+        /// `ways * line_bytes` — the way-slice size that must divide it.
+        way_bytes: u32,
+    },
+    /// The derived set count is not a power of two, so set indexing by
+    /// modulo would not be a clean bit slice.
+    SetsNotPowerOfTwo {
+        /// The derived set count.
+        sets: u32,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroField { field } => {
+                write!(f, "cache config field `{field}` must be non-zero")
+            }
+            CacheConfigError::LineNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size must be a power of two, got {line_bytes}")
+            }
+            CacheConfigError::SizeNotMultiple {
+                size_bytes,
+                way_bytes,
+            } => write!(
+                f,
+                "size_bytes {size_bytes} is not a multiple of ways*line_bytes {way_bytes}"
+            ),
+            CacheConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "derived set count must be a power of two, got {sets}")
+            }
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
 /// Configuration of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -41,6 +98,44 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> u32 {
         self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Check the geometry is buildable: all fields non-zero, a
+    /// power-of-two line size, `ways * line_bytes` dividing `size_bytes`
+    /// exactly (so [`CacheConfig::sets`] does not truncate), and a
+    /// power-of-two set count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CacheConfigError`] violated, checked in the
+    /// order listed above.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        for (field, value) in [
+            ("size_bytes", self.size_bytes),
+            ("ways", self.ways),
+            ("line_bytes", self.line_bytes),
+        ] {
+            if value == 0 {
+                return Err(CacheConfigError::ZeroField { field });
+            }
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::LineNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
+        }
+        let way_bytes = self.ways.saturating_mul(self.line_bytes);
+        if way_bytes == 0 || !self.size_bytes.is_multiple_of(way_bytes) {
+            return Err(CacheConfigError::SizeNotMultiple {
+                size_bytes: self.size_bytes,
+                way_bytes,
+            });
+        }
+        let sets = self.size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(CacheConfigError::SetsNotPowerOfTwo { sets });
+        }
+        Ok(())
     }
 }
 
@@ -119,26 +214,31 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero sets/ways or a
-    /// non-power-of-two line size).
+    /// Panics if the geometry fails [`CacheConfig::validate`]. Use
+    /// [`Cache::try_new`] to handle the error instead.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        assert!(
-            config.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(config.ways >= 1, "cache needs at least one way");
-        assert!(config.sets() >= 1, "cache needs at least one set");
-        assert!(
-            config.sets().is_power_of_two(),
-            "set count must be a power of two"
-        );
-        Cache {
+        match Cache::try_new(config) {
+            Ok(cache) => cache,
+            Err(e) => panic!("invalid cache config: {e}"),
+        }
+    }
+
+    /// Build a cache from its configuration, rejecting degenerate
+    /// geometries with a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CacheConfigError`] reported by
+    /// [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, CacheConfigError> {
+        config.validate()?;
+        Ok(Cache {
             config,
             lines: vec![Line::default(); (config.sets() * config.ways) as usize],
             tick: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The cache geometry.
@@ -395,5 +495,84 @@ mod tests {
             ways: 2,
             line_bytes: 24,
         });
+    }
+
+    #[test]
+    fn validate_accepts_paper_geometries() {
+        assert_eq!(CacheConfig::l1_64k().validate(), Ok(()));
+        assert_eq!(CacheConfig::l2_2m().validate(), Ok(()));
+        assert!(Cache::try_new(CacheConfig::l1_64k()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        for (size_bytes, ways, line_bytes, field) in [
+            (0, 4, 64, "size_bytes"),
+            (1024, 0, 64, "ways"),
+            (1024, 4, 0, "line_bytes"),
+        ] {
+            let cfg = CacheConfig {
+                size_bytes,
+                ways,
+                line_bytes,
+            };
+            assert_eq!(cfg.validate(), Err(CacheConfigError::ZeroField { field }));
+            assert!(Cache::try_new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_line() {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 48,
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(CacheConfigError::LineNotPowerOfTwo { line_bytes: 48 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_truncating_sets() {
+        // 1000 / (4 * 64) = 3.9…: the old sets() would silently truncate.
+        let cfg = CacheConfig {
+            size_bytes: 1000,
+            ways: 4,
+            line_bytes: 64,
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(CacheConfigError::SizeNotMultiple {
+                size_bytes: 1000,
+                way_bytes: 256,
+            })
+        );
+        assert!(Cache::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_sets() {
+        // 3 sets of 2 ways × 64 B: divides exactly but sets = 3.
+        let cfg = CacheConfig {
+            size_bytes: 384,
+            ways: 2,
+            line_bytes: 64,
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(CacheConfigError::SetsNotPowerOfTwo { sets: 3 })
+        );
+    }
+
+    #[test]
+    fn config_errors_render_helpfully() {
+        let msg = CacheConfigError::SizeNotMultiple {
+            size_bytes: 1000,
+            way_bytes: 256,
+        }
+        .to_string();
+        assert!(msg.contains("1000") && msg.contains("256"));
     }
 }

@@ -28,11 +28,19 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+pub mod contended;
 pub mod hierarchy;
+pub mod model;
 pub mod prefetch;
+pub mod wire;
 
-pub use cache::{Cache, CacheConfig, CacheState, CacheStats, LineState};
+pub use cache::{Cache, CacheConfig, CacheConfigError, CacheState, CacheStats, LineState};
+pub use contended::{ContendedConfig, ContendedHierarchy};
 pub use hierarchy::{
     AccessOutcome, AccessResult, HierarchyState, HierarchyStats, MemLatencies, MemoryHierarchy,
+};
+pub use model::{
+    build_memory_model, ClassicHierarchy, ContentionStats, MemModelConfig, MemReject, MemResponse,
+    MemoryModel,
 };
 pub use prefetch::{PrefetchEntryState, PrefetchState, PrefetchStats, StridePrefetcher};

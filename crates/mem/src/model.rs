@@ -1,0 +1,488 @@
+//! The core↔mem boundary: a request/response memory port.
+//!
+//! [`MemoryModel`] replaces the old synchronous "ask the hierarchy for a
+//! scalar latency" call with a port the pipeline *requests* service from.
+//! A request either returns a [`MemResponse`] — the access was accepted,
+//! and the data will be ready `latency_cycles` after `t` (the core arms
+//! its timer-wheel alarms off that horizon) — or a [`MemReject`] when a
+//! structural hazard (all MSHRs busy) prevents the model from even
+//! tracking the miss. A rejected load stays in the issue queue and the
+//! core re-arms its wakeup alarm at [`MemReject::retry_at`].
+//!
+//! Two implementations ship in-tree:
+//!
+//! - [`ClassicHierarchy`] wraps [`MemoryHierarchy`] — infinite bandwidth,
+//!   fixed per-level latency, never rejects. It is bit-for-bit
+//!   cycle-identical to the pre-port simulator and remains the default.
+//! - [`ContendedHierarchy`] adds
+//!   MSHRs with merge-on-same-line, finite L1/L2 access ports per cycle,
+//!   and a bandwidth-limited DRAM queue.
+//!
+//! The snapshot contract mirrors the scheduler trait's: a model exports
+//! its full mutable state as an opaque byte blob the pipeline snapshot
+//! embeds verbatim, and restores from the same blob on a model built with
+//! the same configuration. Requests arrive with non-decreasing `t`
+//! (the pipeline runs commit before issue inside one cycle), which is
+//! what lets the contended model keep rolling port/bandwidth schedules
+//! instead of a global event queue.
+
+use std::fmt;
+
+use crate::cache::{CacheConfig, CacheState, CacheStats};
+use crate::contended::{ContendedConfig, ContendedHierarchy};
+use crate::hierarchy::{AccessOutcome, HierarchyState, HierarchyStats, MemLatencies};
+use crate::prefetch::{PrefetchEntryState, PrefetchState};
+use crate::wire::{WireReader, WireWriter};
+use crate::MemoryHierarchy;
+
+/// Which memory model a core is built with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemModelConfig {
+    /// Fixed-latency hierarchy, infinite bandwidth (the default; cycle-
+    /// identical to the pre-port simulator).
+    #[default]
+    Classic,
+    /// MSHR-, port-, and bandwidth-limited hierarchy.
+    Contended(ContendedConfig),
+}
+
+impl MemModelConfig {
+    /// Stable CLI/JSON label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemModelConfig::Classic => "classic",
+            MemModelConfig::Contended(_) => "contended",
+        }
+    }
+
+    /// Parse a CLI label; `contended` uses [`ContendedConfig::default`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<MemModelConfig> {
+        match s {
+            "classic" => Some(MemModelConfig::Classic),
+            "contended" => Some(MemModelConfig::Contended(ContendedConfig::default())),
+            _ => None,
+        }
+    }
+}
+
+/// An accepted memory request: where it will be serviced and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Servicing level (same classification the paper's MEM-HL/MEM-LL
+    /// split keys off).
+    pub outcome: AccessOutcome,
+    /// Load-to-use latency in cycles from the request time `t`,
+    /// *including* any port or queue waits.
+    pub latency_cycles: u64,
+    /// The request merged into an already-outstanding miss to the same
+    /// line instead of allocating a new MSHR.
+    pub mshr_merged: bool,
+    /// Cycles spent waiting for a free cache access port.
+    pub port_wait: u64,
+    /// Cycles spent queued behind earlier DRAM traffic.
+    pub queue_wait: u64,
+}
+
+/// A structurally rejected request: every MSHR is busy with a different
+/// line, so the model cannot even track this miss yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReject {
+    /// Earliest cycle at which retrying can succeed (the soonest MSHR
+    /// completion). Always strictly greater than the request's `t`.
+    pub retry_at: u64,
+}
+
+/// Contention counters accumulated by a model. All zero for
+/// [`ClassicHierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Requests rejected because all MSHRs were busy.
+    pub mshr_rejects: u64,
+    /// Requests merged into an outstanding same-line miss.
+    pub mshr_merges: u64,
+    /// Total cycles requests spent waiting on cache access ports.
+    pub port_wait_cycles: u64,
+    /// Total cycles requests spent queued for DRAM bandwidth.
+    pub dram_wait_cycles: u64,
+}
+
+/// A pluggable timing model for the data-memory subsystem.
+///
+/// See the [module docs](self) for the request/response and snapshot
+/// contracts. `t` is the requesting cycle and is non-decreasing across
+/// calls; implementations may keep rolling schedules keyed on it.
+pub trait MemoryModel: fmt::Debug + Send {
+    /// Stable label for events, snapshots, and reports.
+    fn name(&self) -> &'static str;
+
+    /// Request service for instruction `seq` (PC `pc`) touching `addr` at
+    /// cycle `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemReject`] when a structural hazard prevents accepting
+    /// the request this cycle; the caller must retry no earlier than
+    /// [`MemReject::retry_at`]. Stores are never rejected (a write buffer
+    /// absorbs them).
+    fn request(
+        &mut self,
+        seq: u64,
+        pc: u32,
+        addr: u64,
+        is_store: bool,
+        t: u64,
+    ) -> Result<MemResponse, MemReject>;
+
+    /// Per-level hit statistics.
+    fn stats(&self) -> HierarchyStats;
+
+    /// L1 statistics.
+    fn l1_stats(&self) -> CacheStats;
+
+    /// L2 statistics.
+    fn l2_stats(&self) -> CacheStats;
+
+    /// Contention counters (all zero for models without contention).
+    fn contention(&self) -> ContentionStats;
+
+    /// Number of misses still outstanding at cycle `t`.
+    fn inflight(&self, t: u64) -> usize;
+
+    /// Export the model's full mutable state as an opaque blob.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restore state captured by [`MemoryModel::snapshot`] on a model
+    /// built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description if the blob belongs to a different model,
+    /// geometry, or is corrupt; the model must be left unchanged or the
+    /// caller must discard it (the pipeline restore path discards).
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String>;
+}
+
+/// Build the configured memory model over the given cache geometry.
+#[must_use]
+pub fn build_memory_model(
+    model: MemModelConfig,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    latencies: MemLatencies,
+    prefetch: bool,
+) -> Box<dyn MemoryModel> {
+    match model {
+        MemModelConfig::Classic => Box::new(ClassicHierarchy::new(MemoryHierarchy::new(
+            l1, l2, latencies, prefetch,
+        ))),
+        MemModelConfig::Contended(cfg) => {
+            Box::new(ContendedHierarchy::new(cfg, l1, l2, latencies, prefetch))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot blob helpers shared by both models.
+
+/// Model tag byte leading every snapshot blob.
+pub(crate) const TAG_CLASSIC: u8 = 1;
+/// Tag for [`ContendedHierarchy`](crate::contended::ContendedHierarchy).
+pub(crate) const TAG_CONTENDED: u8 = 2;
+
+pub(crate) fn encode_cache_state(w: &mut WireWriter, s: &CacheState) {
+    w.u32(s.lines.len() as u32);
+    for l in &s.lines {
+        w.bool(l.valid);
+        w.bool(l.dirty);
+        w.u64(l.tag);
+        w.u64(l.lru);
+    }
+    w.u64(s.tick);
+    w.u64(s.stats.accesses);
+    w.u64(s.stats.misses);
+    w.u64(s.stats.prefetch_fills);
+    w.u64(s.stats.writebacks);
+}
+
+pub(crate) fn decode_cache_state(r: &mut WireReader<'_>) -> Result<CacheState, String> {
+    let n = r.u32()? as usize;
+    let mut lines = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        lines.push(crate::cache::LineState {
+            valid: r.bool()?,
+            dirty: r.bool()?,
+            tag: r.u64()?,
+            lru: r.u64()?,
+        });
+    }
+    Ok(CacheState {
+        lines,
+        tick: r.u64()?,
+        stats: CacheStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+            prefetch_fills: r.u64()?,
+            writebacks: r.u64()?,
+        },
+    })
+}
+
+pub(crate) fn encode_prefetch_state(w: &mut WireWriter, s: &PrefetchState) {
+    w.u32(s.entries.len() as u32);
+    for e in &s.entries {
+        w.bool(e.valid);
+        w.u32(e.pc_tag);
+        w.u64(e.last_addr);
+        w.i64(e.stride);
+        w.u8(e.state);
+    }
+    w.u64(s.stats.trains);
+    w.u64(s.stats.issued);
+}
+
+pub(crate) fn decode_prefetch_state(r: &mut WireReader<'_>) -> Result<PrefetchState, String> {
+    let n = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        entries.push(PrefetchEntryState {
+            valid: r.bool()?,
+            pc_tag: r.u32()?,
+            last_addr: r.u64()?,
+            stride: r.i64()?,
+            state: r.u8()?,
+        });
+    }
+    Ok(PrefetchState {
+        entries,
+        stats: crate::prefetch::PrefetchStats {
+            trains: r.u64()?,
+            issued: r.u64()?,
+        },
+    })
+}
+
+pub(crate) fn encode_hierarchy_state(w: &mut WireWriter, s: &HierarchyState) {
+    encode_cache_state(w, &s.l1);
+    encode_cache_state(w, &s.l2);
+    match &s.prefetcher {
+        Some(pf) => {
+            w.bool(true);
+            encode_prefetch_state(w, pf);
+        }
+        None => w.bool(false),
+    }
+    w.u64(s.stats.l1_hits);
+    w.u64(s.stats.l2_hits);
+    w.u64(s.stats.mem_accesses);
+}
+
+pub(crate) fn decode_hierarchy_state(r: &mut WireReader<'_>) -> Result<HierarchyState, String> {
+    let l1 = decode_cache_state(r)?;
+    let l2 = decode_cache_state(r)?;
+    let prefetcher = if r.bool()? {
+        Some(decode_prefetch_state(r)?)
+    } else {
+        None
+    };
+    Ok(HierarchyState {
+        l1,
+        l2,
+        prefetcher,
+        stats: HierarchyStats {
+            l1_hits: r.u64()?,
+            l2_hits: r.u64()?,
+            mem_accesses: r.u64()?,
+        },
+    })
+}
+
+pub(crate) fn encode_outcome(w: &mut WireWriter, o: AccessOutcome) {
+    w.u8(match o {
+        AccessOutcome::L1Hit => 0,
+        AccessOutcome::L2Hit => 1,
+        AccessOutcome::Memory => 2,
+    });
+}
+
+pub(crate) fn decode_outcome(r: &mut WireReader<'_>) -> Result<AccessOutcome, String> {
+    match r.u8()? {
+        0 => Ok(AccessOutcome::L1Hit),
+        1 => Ok(AccessOutcome::L2Hit),
+        2 => Ok(AccessOutcome::Memory),
+        other => Err(format!("bad access-outcome code {other}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The fixed-latency memory port: wraps [`MemoryHierarchy`] behind the
+/// [`MemoryModel`] trait. Never rejects, never queues — every request is
+/// serviced with the configured per-level latency, exactly as the
+/// pre-port simulator did, which keeps the committed golden sweep
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub struct ClassicHierarchy {
+    inner: MemoryHierarchy,
+}
+
+impl ClassicHierarchy {
+    /// Wrap a hierarchy.
+    #[must_use]
+    pub fn new(inner: MemoryHierarchy) -> Self {
+        ClassicHierarchy { inner }
+    }
+
+    /// The paper's Table I memory system.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ClassicHierarchy::new(MemoryHierarchy::paper_default())
+    }
+}
+
+impl MemoryModel for ClassicHierarchy {
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn request(
+        &mut self,
+        _seq: u64,
+        pc: u32,
+        addr: u64,
+        is_store: bool,
+        _t: u64,
+    ) -> Result<MemResponse, MemReject> {
+        let res = self.inner.access(pc, addr, is_store);
+        Ok(MemResponse {
+            outcome: res.outcome,
+            latency_cycles: u64::from(res.latency_cycles),
+            mshr_merged: false,
+            port_wait: 0,
+            queue_wait: 0,
+        })
+    }
+
+    fn stats(&self) -> HierarchyStats {
+        self.inner.stats()
+    }
+
+    fn l1_stats(&self) -> CacheStats {
+        self.inner.l1_stats()
+    }
+
+    fn l2_stats(&self) -> CacheStats {
+        self.inner.l2_stats()
+    }
+
+    fn contention(&self) -> ContentionStats {
+        ContentionStats::default()
+    }
+
+    fn inflight(&self, _t: u64) -> usize {
+        0
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(TAG_CLASSIC);
+        encode_hierarchy_state(&mut w, &self.inner.export_state());
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut r = WireReader::new(blob);
+        let tag = r.u8()?;
+        if tag != TAG_CLASSIC {
+            return Err(format!("snapshot model tag {tag} is not classic"));
+        }
+        let state = decode_hierarchy_state(&mut r)?;
+        r.expect_end()?;
+        self.inner.import_state(&state)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_matches_raw_hierarchy_latencies() {
+        let mut raw = MemoryHierarchy::paper_default();
+        let mut port = ClassicHierarchy::paper_default();
+        for i in 0..512u64 {
+            let addr = (i * 24) % 4096;
+            let is_store = i % 7 == 0;
+            let want = raw.access(0x40, addr, is_store);
+            let got = port.request(i, 0x40, addr, is_store, i).unwrap();
+            assert_eq!(got.outcome, want.outcome);
+            assert_eq!(got.latency_cycles, u64::from(want.latency_cycles));
+            assert!(!got.mshr_merged);
+            assert_eq!(got.port_wait + got.queue_wait, 0);
+        }
+        assert_eq!(port.stats(), raw.stats());
+        assert_eq!(port.contention(), ContentionStats::default());
+        assert_eq!(port.inflight(999), 0);
+    }
+
+    #[test]
+    fn classic_snapshot_round_trips() {
+        let mut port = ClassicHierarchy::paper_default();
+        for i in 0..128u64 {
+            port.request(i, 0x40, i * 64, false, i).unwrap();
+        }
+        let blob = port.snapshot();
+        let mut fresh = ClassicHierarchy::paper_default();
+        fresh.restore(&blob).unwrap();
+        assert_eq!(fresh.snapshot(), blob);
+        // Identical future behaviour.
+        for i in 128..160u64 {
+            assert_eq!(
+                port.request(i, 0x40, i * 64, false, i),
+                fresh.request(i, 0x40, i * 64, false, i)
+            );
+        }
+    }
+
+    #[test]
+    fn classic_restore_rejects_foreign_tag() {
+        let mut w = WireWriter::new();
+        w.u8(TAG_CONTENDED);
+        let blob = w.finish();
+        let mut port = ClassicHierarchy::paper_default();
+        assert!(port.restore(&blob).is_err());
+    }
+
+    #[test]
+    fn model_config_labels_parse() {
+        assert_eq!(
+            MemModelConfig::parse("classic"),
+            Some(MemModelConfig::Classic)
+        );
+        assert_eq!(
+            MemModelConfig::parse("contended").map(|m| m.label()),
+            Some("contended")
+        );
+        assert_eq!(MemModelConfig::parse("warp-drive"), None);
+        assert_eq!(MemModelConfig::default().label(), "classic");
+    }
+
+    #[test]
+    fn builder_selects_model_by_config() {
+        let l1 = CacheConfig::l1_64k();
+        let l2 = CacheConfig::l2_2m();
+        let lat = MemLatencies::default();
+        let classic = build_memory_model(MemModelConfig::Classic, l1, l2, lat, true);
+        assert_eq!(classic.name(), "classic");
+        let contended = build_memory_model(
+            MemModelConfig::Contended(ContendedConfig::default()),
+            l1,
+            l2,
+            lat,
+            true,
+        );
+        assert_eq!(contended.name(), "contended");
+    }
+}

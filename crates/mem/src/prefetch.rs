@@ -290,4 +290,156 @@ mod tests {
         assert_eq!(s.trains, 3);
         assert_eq!(s.issued, 2);
     }
+
+    /// A from-scratch reference model of the reference-prediction-table
+    /// contract, written step-by-step rather than table-slot-by-slot so a
+    /// shared bug is unlikely: per mapped slot, remember `(owner_pc,
+    /// last_addr, stride, confirmations)`; a training observation whose
+    /// stride matches the remembered one (and is non-zero) after at least
+    /// one prior stride observation emits `degree` prefetches at
+    /// `addr + k*stride`, clamped to non-negative addresses.
+    struct RefModel {
+        slots: Vec<Option<(u32, u64, i64, u32)>>,
+        degree: u32,
+    }
+
+    impl RefModel {
+        fn new(entries: usize, degree: u32) -> Self {
+            RefModel {
+                slots: vec![None; entries.next_power_of_two()],
+                degree,
+            }
+        }
+
+        fn train(&mut self, pc: u32, addr: u64) -> Vec<u64> {
+            let slot = (pc as usize >> 2) & (self.slots.len() - 1);
+            let prior = self.slots[slot];
+            match prior {
+                Some((owner, last, stride, seen)) if owner == pc => {
+                    let s = addr as i64 - last as i64;
+                    let confirmed = seen >= 1 && s == stride && s != 0;
+                    let seen = if confirmed { seen + 1 } else { 1 };
+                    self.slots[slot] = Some((pc, addr, s, seen));
+                    if confirmed {
+                        (1..=self.degree)
+                            .map(|k| addr as i64 + s * i64::from(k))
+                            .filter(|&a| a >= 0)
+                            .map(|a| a as u64)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => {
+                    self.slots[slot] = Some((pc, addr, 0, 0));
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Deterministic LCG so the property sweep needs no external crates.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        *state >> 16
+    }
+
+    #[test]
+    fn property_matches_reference_model_on_random_streams() {
+        for seed in 0..32u64 {
+            let degree = 1 + (seed % 3) as u32;
+            let mut dut = StridePrefetcher::new(32, degree);
+            let mut reference = RefModel::new(32, degree);
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            // A handful of PCs, each either strided or random.
+            let pcs: Vec<(u32, Option<i64>)> = (0..6)
+                .map(|i| {
+                    let pc = 0x400 + i * 4;
+                    let strided = lcg(&mut rng).is_multiple_of(2);
+                    let stride = if strided {
+                        Some(((lcg(&mut rng) % 256) as i64 - 128).max(1))
+                    } else {
+                        None
+                    };
+                    (pc, stride)
+                })
+                .collect();
+            let mut cursors: Vec<u64> = pcs.iter().map(|_| lcg(&mut rng) % 0x10000).collect();
+            for step in 0..400 {
+                let which = (lcg(&mut rng) as usize) % pcs.len();
+                let (pc, stride) = pcs[which];
+                let addr = match stride {
+                    Some(s) => {
+                        let a = cursors[which];
+                        cursors[which] = (a as i64 + s).max(0) as u64;
+                        a
+                    }
+                    None => lcg(&mut rng) % 0x10000,
+                };
+                let got = dut.train(pc, addr);
+                let want = reference.train(pc, addr);
+                assert_eq!(
+                    got, want,
+                    "seed {seed} step {step}: pc {pc:#x} addr {addr:#x} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_non_strided_stream_never_prefetches() {
+        // A walk whose delta never repeats two steps in a row: the
+        // Transient→Steady confirmation can never fire, so the
+        // prefetcher must stay silent for the whole stream.
+        let mut p = StridePrefetcher::new(64, 2);
+        let mut rng = 0xDEAD_BEEFu64;
+        let mut addr = 0x8000u64;
+        let mut last_delta = 0i64;
+        for step in 0..500 {
+            let mut delta = (lcg(&mut rng) % 1000) as i64 + 1;
+            if delta == last_delta {
+                delta += 1;
+            }
+            last_delta = delta;
+            addr = (addr as i64 + delta).max(0) as u64;
+            assert!(
+                p.train(0x80, addr).is_empty(),
+                "step {step}: prefetch on a never-repeating stride stream"
+            );
+        }
+    }
+
+    #[test]
+    fn property_degree_controls_emission_count() {
+        for degree in 1..=4u32 {
+            let mut p = StridePrefetcher::new(16, degree);
+            p.train(0x40, 1000);
+            p.train(0x40, 1064);
+            let pf = p.train(0x40, 1128);
+            assert_eq!(pf.len(), degree as usize);
+            for (k, a) in pf.iter().enumerate() {
+                assert_eq!(*a, 1128 + 64 * (k as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_training_preserves_future_stream() {
+        let mut p = StridePrefetcher::new(32, 3);
+        let mut rng = 7u64;
+        for i in 0..200 {
+            let pc = 0x40 + ((lcg(&mut rng) % 8) as u32) * 4;
+            p.train(pc, i * 8);
+        }
+        let state = p.export_state();
+        let mut resumed = StridePrefetcher::new(32, 3);
+        resumed.import_state(&state).unwrap();
+        for i in 200..260u64 {
+            let pc = 0x40 + ((i % 8) as u32) * 4;
+            assert_eq!(p.train(pc, i * 8), resumed.train(pc, i * 8));
+        }
+        assert_eq!(p.export_state(), resumed.export_state());
+    }
 }

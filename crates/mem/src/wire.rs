@@ -1,0 +1,213 @@
+//! Minimal little-endian wire codec for memory-model snapshots.
+//!
+//! The [`MemoryModel`](crate::model::MemoryModel) snapshot contract hands
+//! the core an opaque byte blob; this module is the fixed-width encoding
+//! both in-tree models use to build it. Deliberately tiny: length-checked
+//! reads that fail with a message instead of panicking, so a torn or
+//! foreign blob surfaces as a restore error rather than an abort.
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Fresh empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Consume the writer and return the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Length-checked little-endian reader over a snapshot blob.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                format!(
+                    "snapshot truncated: need {n} bytes at offset {}, blob holds {}",
+                    self.pos,
+                    self.buf.len()
+                )
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// Read a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    /// Read an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 8 bytes remain.
+    pub fn i64(&mut self) -> Result<i64, String> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(i64::from_le_bytes(raw))
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the blob is exhausted.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool encoded as one byte; any value other than 0/1 is
+    /// rejected as corruption.
+    ///
+    /// # Errors
+    ///
+    /// Fails on exhaustion or a non-0/1 byte.
+    pub fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bad bool byte {other}")),
+        }
+    }
+
+    /// Assert the blob has been fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if trailing bytes remain — the blob was written by a
+    /// different model or format revision.
+    pub fn expect_end(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "snapshot has {} trailing bytes",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = WireWriter::new();
+        w.u64(0xDEAD_BEEF_CAFE_F00D);
+        w.u32(42);
+        w.i64(-7);
+        w.u8(200);
+        w.bool(true);
+        w.bool(false);
+        let blob = w.finish();
+        let mut r = WireReader::new(&blob);
+        assert_eq!(r.u64().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert_eq!(r.i64().unwrap(), -7);
+        assert_eq!(r.u8().unwrap(), 200);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.u32(1);
+        let blob = w.finish();
+        let mut r = WireReader::new(&blob);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = WireWriter::new();
+        w.u64(1);
+        w.u8(9);
+        let blob = w.finish();
+        let mut r = WireReader::new(&blob);
+        r.u64().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let blob = [7u8];
+        let mut r = WireReader::new(&blob);
+        assert!(r.bool().is_err());
+    }
+}

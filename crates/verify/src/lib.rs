@@ -32,10 +32,83 @@ use std::path::{Path, PathBuf};
 
 use redsoc_core::CoreConfig;
 use redsoc_isa::disasm::disassemble;
+use redsoc_mem::{ContendedConfig, MemModelConfig};
 use redsoc_prng::SmallRng;
 
 use gen::{FuzzProgram, GenKnobs};
 use oracle::{check_program, Divergence, OracleConfig, SchedKind};
+
+/// Which memory model(s) a campaign's pipeline runs use.
+///
+/// The oracle's checks are all timing-model-agnostic (committed streams,
+/// architectural digests, stall-partition and ordering invariants), so
+/// the same case is meaningful under either hierarchy; `Both` alternates
+/// per case index to cover the contended rejection/retry machinery and
+/// the classic path in one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemModelAxis {
+    /// Fixed-latency hierarchy for every case.
+    Classic,
+    /// Contended hierarchy for every case.
+    Contended,
+    /// Alternate per case: even indices classic, odd contended.
+    #[default]
+    Both,
+}
+
+impl MemModelAxis {
+    /// Stable CLI label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MemModelAxis::Classic => "classic",
+            MemModelAxis::Contended => "contended",
+            MemModelAxis::Both => "both",
+        }
+    }
+
+    /// Parse a `--mem-model` CLI value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "classic" => Some(MemModelAxis::Classic),
+            "contended" => Some(MemModelAxis::Contended),
+            "both" => Some(MemModelAxis::Both),
+            _ => None,
+        }
+    }
+
+    /// The concrete model a given case runs under.
+    #[must_use]
+    pub fn model_for(self, case: u64) -> MemModelConfig {
+        match self {
+            MemModelAxis::Classic => MemModelConfig::Classic,
+            MemModelAxis::Contended => fuzz_contended(),
+            MemModelAxis::Both => {
+                if case.is_multiple_of(2) {
+                    MemModelConfig::Classic
+                } else {
+                    fuzz_contended()
+                }
+            }
+        }
+    }
+}
+
+/// The contended configuration fuzzing runs under: deliberately tighter
+/// than the A57-class default (2 MSHRs, single-ported caches, slow DRAM)
+/// so short generated programs actually exercise MSHR rejection, merge
+/// and queueing — the default's 8 MSHRs would almost never fill in 48
+/// instructions.
+#[must_use]
+pub fn fuzz_contended() -> MemModelConfig {
+    MemModelConfig::Contended(ContendedConfig {
+        mshrs: 2,
+        l1_ports: 1,
+        l2_ports: 1,
+        dram_interval: 8,
+    })
+}
 
 /// Parameters of one fuzzing campaign.
 #[derive(Debug, Clone)]
@@ -48,6 +121,8 @@ pub struct FuzzConfig {
     pub max_instrs: usize,
     /// Scheduling policies every case runs under.
     pub scheds: Vec<SchedKind>,
+    /// Memory model(s) the pipeline runs use.
+    pub mem_models: MemModelAxis,
     /// Inject the inverted-skew fault into the ReDSOC runs (harness
     /// self-test).
     pub sabotage_redsoc: bool,
@@ -56,8 +131,8 @@ pub struct FuzzConfig {
 }
 
 impl FuzzConfig {
-    /// A campaign with the default shape: all schedulers, 48-instruction
-    /// programs, no sabotage, no repro directory.
+    /// A campaign with the default shape: all schedulers, both memory
+    /// models, 48-instruction programs, no sabotage, no repro directory.
     #[must_use]
     pub fn new(seed: u64, cases: u64) -> Self {
         FuzzConfig {
@@ -65,6 +140,7 @@ impl FuzzConfig {
             cases,
             max_instrs: 48,
             scheds: SchedKind::ALL.to_vec(),
+            mem_models: MemModelAxis::Both,
             sabotage_redsoc: false,
             repro_dir: None,
         }
@@ -80,6 +156,8 @@ pub struct FuzzFailure {
     pub case_seed: u64,
     /// Core configuration name the case ran on.
     pub core: &'static str,
+    /// Memory-model label the case ran under.
+    pub mem_model: &'static str,
     /// The divergence the *shrunk* program still exhibits.
     pub divergence: Divergence,
     /// The shrunk program.
@@ -105,6 +183,18 @@ pub struct FuzzSummary {
 #[must_use]
 pub fn core_by_name(name: &str) -> Option<CoreConfig> {
     CoreConfig::table1().into_iter().find(|c| c.name == name)
+}
+
+/// Look up the memory model a repro header's `; mem-model:` label names.
+/// `contended` maps to [`fuzz_contended`] — the exact configuration the
+/// campaign ran, so replays are faithful.
+#[must_use]
+pub fn mem_model_by_label(label: &str) -> Option<MemModelConfig> {
+    match label {
+        "classic" => Some(MemModelConfig::Classic),
+        "contended" => Some(fuzz_contended()),
+        _ => None,
+    }
 }
 
 /// The per-case seed: a splitmix-style mix of the master seed and case
@@ -139,6 +229,7 @@ pub fn render_repro(
     failure_case: u64,
     case_seed: u64,
     core: &str,
+    mem_model: &str,
     divergence: &Divergence,
     program: &FuzzProgram,
 ) -> Result<String, String> {
@@ -148,6 +239,7 @@ pub fn render_repro(
     let _ = writeln!(out, "; redsoc fuzz repro (auto-shrunk)");
     let _ = writeln!(out, "; case: {failure_case}  case-seed: {case_seed:#x}");
     let _ = writeln!(out, "; core: {core}");
+    let _ = writeln!(out, "; mem-model: {mem_model}");
     for line in divergence.to_string().lines() {
         let _ = writeln!(out, "; divergence: {line}");
     }
@@ -184,7 +276,9 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> std::io::Re
         let mut rng = SmallRng::seed_from_u64(cs);
         let knobs = GenKnobs::sampled(&mut rng, cfg.max_instrs);
         let program = gen::gen_case(&mut rng, &knobs);
-        let core = case_core(case);
+        let mem_model = cfg.mem_models.model_for(case);
+        let mem_label = mem_model.label();
+        let core = case_core(case).with_mem_model(mem_model);
         let core_name = core.name;
         let oracle_cfg = OracleConfig {
             core,
@@ -198,13 +292,13 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> std::io::Re
             Ok(ok) => {
                 summary.dyn_ops += ok.dyn_ops;
                 progress(&format!(
-                    "case {case:4}  core {core_name:6}  {:4} dyn ops  ok",
+                    "case {case:4}  core {core_name:6}  mem {mem_label:9}  {:4} dyn ops  ok",
                     ok.dyn_ops
                 ));
             }
             Err(div) => {
                 progress(&format!(
-                    "case {case:4}  core {core_name:6}  DIVERGED: {div}"
+                    "case {case:4}  core {core_name:6}  mem {mem_label:9}  DIVERGED: {div}"
                 ));
                 // Pin shrinking to the original divergence class so an
                 // edit that introduces an unrelated failure (e.g. a
@@ -225,12 +319,13 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> std::io::Re
                     "case {case:4}  shrunk to {} instructions",
                     shrunk.op_count()
                 ));
-                let asm = render_repro(case, cs, core_name, &final_div, &shrunk)
+                let asm = render_repro(case, cs, core_name, mem_label, &final_div, &shrunk)
                     .unwrap_or_else(|e| format!("; repro rendering failed: {e}\n"));
                 let mut failure = FuzzFailure {
                     case,
                     case_seed: cs,
                     core: core_name,
+                    mem_model: mem_label,
                     divergence: final_div,
                     shrunk,
                     asm,
@@ -327,7 +422,10 @@ mod tests {
         let failure = summary.failures.first().expect("sabotage must be caught");
         let program = assemble(&failure.asm).expect("repro must reassemble");
         // Replay under the exact recorded configuration: still diverges.
-        let mut oracle_cfg = OracleConfig::new(core_by_name(failure.core).expect("known core"));
+        let core = core_by_name(failure.core)
+            .expect("known core")
+            .with_mem_model(mem_model_by_label(failure.mem_model).expect("known model"));
+        let mut oracle_cfg = OracleConfig::new(core);
         oracle_cfg.sabotage_redsoc = true;
         check_program(&program, &oracle_cfg).expect_err("reassembled repro must still diverge");
         // And under honest schedulers the same program is clean.
@@ -345,11 +443,31 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(1);
             gen::gen_case(&mut rng, &GenKnobs::chain_heavy(8))
         };
-        let text = render_repro(3, 0xABCD, "medium", &div, &p).expect("renders");
+        let text = render_repro(3, 0xABCD, "medium", "contended", &div, &p).expect("renders");
         assert!(text.contains("; core: medium"));
+        assert!(text.contains("; mem-model: contended"));
         assert!(text.contains("case-seed: 0xabcd"));
         assert!(text.contains("; divergence: [redsoc]"));
         assemble(&text).expect("header comments do not break assembly");
+    }
+
+    #[test]
+    fn mem_model_axis_round_trips_and_alternates() {
+        for axis in [
+            MemModelAxis::Classic,
+            MemModelAxis::Contended,
+            MemModelAxis::Both,
+        ] {
+            assert_eq!(MemModelAxis::parse(axis.label()), Some(axis));
+        }
+        assert_eq!(MemModelAxis::parse("nope"), None);
+        assert_eq!(MemModelAxis::Both.model_for(0), MemModelConfig::Classic);
+        assert_eq!(MemModelAxis::Both.model_for(1), fuzz_contended());
+        assert_eq!(MemModelAxis::Classic.model_for(3), MemModelConfig::Classic);
+        assert_eq!(MemModelAxis::Contended.model_for(2), fuzz_contended());
+        assert_eq!(mem_model_by_label("classic"), Some(MemModelConfig::Classic));
+        assert_eq!(mem_model_by_label("contended"), Some(fuzz_contended()));
+        assert_eq!(mem_model_by_label("infinite"), None);
     }
 
     #[test]

@@ -91,6 +91,19 @@ fn parse_sched(s: &str) -> Result<SchedulerConfig, CliError> {
     }
 }
 
+fn parse_mem_model(s: &str) -> Result<redsoc::mem::MemModelConfig, CliError> {
+    redsoc::mem::MemModelConfig::parse(&s.to_ascii_lowercase())
+        .ok_or_else(|| usage_err(format!("unknown memory model {s:?} (classic|contended)")))
+}
+
+/// Apply an optional `--mem-model` flag to a core config.
+fn with_mem_flag(core: CoreConfig, flags: &Flags) -> Result<CoreConfig, CliError> {
+    match flags.get("mem-model") {
+        Some(s) => Ok(core.with_mem_model(parse_mem_model(s)?)),
+        None => Ok(core),
+    }
+}
+
 fn parse_bench(s: &str) -> Result<Benchmark, CliError> {
     Benchmark::all()
         .into_iter()
@@ -176,6 +189,14 @@ fn print_report(label: &str, rep: &SimReport) {
     println!("committed     {:>12}", rep.committed);
     println!("IPC           {:>12.3}", rep.ipc());
     println!("recycled ops  {:>12}", rep.recycled_ops);
+    println!("STL forwards  {:>12}", rep.stl_forwards);
+    let mc = &rep.mem_contention;
+    if mc.mshr_rejects + mc.mshr_merges + mc.port_wait_cycles + mc.dram_wait_cycles > 0 {
+        println!(
+            "mem contention{:>12} MSHR rejects, {} merges, {} port-wait, {} DRAM-wait cycles",
+            mc.mshr_rejects, mc.mshr_merges, mc.port_wait_cycles, mc.dram_wait_cycles
+        );
+    }
     println!(
         "EGPW issues   {:>12}  (wasted {})",
         rep.egpw_issues, rep.egpw_wasted
@@ -216,8 +237,8 @@ fn cmd_run(args: &[String]) -> CliResult {
         args.first()
             .ok_or_else(|| usage_err("usage: redsoc run <bench> [flags]"))?,
     )?;
-    let flags = Flags::parse(&args[1..], &["core", "sched", "len", "events"])?;
-    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let flags = Flags::parse(&args[1..], &["core", "sched", "len", "events", "mem-model"])?;
+    let core = with_mem_flag(parse_core(flags.get("core").unwrap_or("big"))?, &flags)?;
     let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
     let len: u64 = flags.num("len", 100_000)?;
     let trace = bench.trace(len);
@@ -256,8 +277,11 @@ fn cmd_trace(args: &[String]) -> CliResult {
         args.first()
             .ok_or_else(|| usage_err("usage: redsoc trace <bench> [flags]"))?,
     )?;
-    let flags = Flags::parse(&args[1..], &["core", "sched", "len", "format", "out"])?;
-    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let flags = Flags::parse(
+        &args[1..],
+        &["core", "sched", "len", "format", "out", "mem-model"],
+    )?;
+    let core = with_mem_flag(parse_core(flags.get("core").unwrap_or("big"))?, &flags)?;
     let sched = parse_sched(flags.get("sched").unwrap_or("redsoc"))?;
     let len: u64 = flags.num("len", 20_000)?;
     let format = flags.get("format").unwrap_or("chrome");
@@ -317,8 +341,8 @@ fn cmd_compare(args: &[String]) -> CliResult {
         args.first()
             .ok_or_else(|| usage_err("usage: redsoc compare <bench> [flags]"))?,
     )?;
-    let flags = Flags::parse(&args[1..], &["core", "len"])?;
-    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let flags = Flags::parse(&args[1..], &["core", "len", "mem-model"])?;
+    let core = with_mem_flag(parse_core(flags.get("core").unwrap_or("big"))?, &flags)?;
     let len: u64 = flags.num("len", 100_000)?;
     let trace = bench.trace(len);
     let sim_err = |e: SimError| CliError::Sim(e.to_string());
@@ -368,8 +392,8 @@ fn cmd_sweep(args: &[String]) -> CliResult {
         parse_bench(args.first().ok_or_else(|| {
             usage_err("usage: redsoc sweep <bench> --knob <threshold|precision>")
         })?)?;
-    let flags = Flags::parse(&args[1..], &["core", "knob", "len"])?;
-    let core = parse_core(flags.get("core").unwrap_or("big"))?;
+    let flags = Flags::parse(&args[1..], &["core", "knob", "len", "mem-model"])?;
+    let core = with_mem_flag(parse_core(flags.get("core").unwrap_or("big"))?, &flags)?;
     let knob = flags.get("knob").unwrap_or("threshold");
     let len: u64 = flags.num("len", 60_000)?;
     let trace = bench.trace(len);
@@ -422,6 +446,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
             "max-retries",
             "backoff-ms",
             "snapshot-interval",
+            "mem-model",
         ],
     )?;
     let threads = flags.num("threads", redsoc::bench::threads())?.max(1);
@@ -499,11 +524,22 @@ fn cmd_bench(args: &[String]) -> CliResult {
         }
     }
 
+    // The grid's memory-model axis: one flag retargets every core in the
+    // sweep, so `--mem-model contended` produces a sweep document directly
+    // comparable (via sweepcmp) against the classic default.
+    let mut cores = redsoc::bench::cores();
+    if let Some(s) = flags.get("mem-model") {
+        let model = parse_mem_model(s)?;
+        for (_, core) in &mut cores {
+            *core = core.clone().with_mem_model(model);
+        }
+    }
+
     let cache = redsoc::bench::TraceCache::new(len);
     let grid = run_grid_supervised(
         &cache,
         &Benchmark::all(),
-        &redsoc::bench::cores(),
+        &cores,
         &Mode::all(),
         threads,
         &sup,
@@ -924,6 +960,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
             "schedulers",
             "repro-dir",
             "sabotage",
+            "mem-model",
         ],
     )?;
     let mut cfg = FuzzConfig::new(flags.num("seed", 0u64)?, flags.num("cases", 500u64)?);
@@ -951,6 +988,14 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         }
         cfg.scheds = scheds;
     }
+    if let Some(s) = flags.get("mem-model") {
+        cfg.mem_models =
+            redsoc::verify::MemModelAxis::parse(&s.to_ascii_lowercase()).ok_or_else(|| {
+                usage_err(format!(
+                    "unknown memory model {s:?} (classic|contended|both)"
+                ))
+            })?;
+    }
     cfg.repro_dir = flags.get("repro-dir").map(std::path::PathBuf::from);
     // Undocumented self-test knob: plant the inverted-skew fault so the
     // harness's own detection path can be demonstrated end to end.
@@ -965,11 +1010,12 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     }
     let sched_names: Vec<&str> = cfg.scheds.iter().map(|k| k.label()).collect();
     println!(
-        "fuzz: seed {} cases {} max-instrs {} schedulers {}",
+        "fuzz: seed {} cases {} max-instrs {} schedulers {} mem-model {}",
         cfg.seed,
         cfg.cases,
         cfg.max_instrs,
-        sched_names.join(",")
+        sched_names.join(","),
+        cfg.mem_models.label()
     );
     let summary = run_fuzz(&cfg, |line| {
         // One line per diverging case only: a 500-case clean run stays
@@ -987,9 +1033,10 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     );
     for f in &summary.failures {
         println!(
-            "  case {} (core {}, {} instrs shrunk): {}",
+            "  case {} (core {}, mem {}, {} instrs shrunk): {}",
             f.case,
             f.core,
+            f.mem_model,
             f.shrunk.op_count(),
             f.divergence
         );
@@ -1042,9 +1089,12 @@ fn usage() -> String {
      \x20                          interpreter and every scheduler in lockstep\n\
      \x20                          (--seed N  --cases N  --max-instrs N\n\
      \x20                          --schedulers baseline,redsoc,mos,ts\n\
+     \x20                          --mem-model classic|contended|both (default both)\n\
      \x20                          --repro-dir DIR   write shrunk .asm repros)\n\
      \n\
      flags: --core small|medium|big  --sched baseline|redsoc|mos  --len N\n\
+     \x20      --mem-model classic|contended  (memory hierarchy: fixed-latency\n\
+     \x20      vs MSHR/port/DRAM-bandwidth-limited; run, trace, compare, sweep, bench)\n\
      exit codes: 0 ok, 1 io/mismatch, 2 usage, 3 simulator error, 4 partial sweep"
         .to_string()
 }

@@ -16,8 +16,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use redsoc::isa::asm::assemble;
-use redsoc::verify::core_by_name;
 use redsoc::verify::oracle::{check_program, Divergence, OracleConfig, SchedKind};
+use redsoc::verify::{core_by_name, mem_model_by_label};
 
 /// All committed repro files, sorted for deterministic test order.
 fn repro_files() -> Vec<PathBuf> {
@@ -46,6 +46,21 @@ fn header_field<'a>(source: &'a str, key: &str) -> Option<&'a str> {
         .map(str::trim)
 }
 
+/// The core a repro recorded, including its memory model. Repros from
+/// before the memory-port refactor have no `; mem-model:` header and
+/// replay under the classic (then-only) hierarchy.
+fn recorded_core(source: &str, path: &Path) -> redsoc::core::CoreConfig {
+    let core = core_by_name(header_field(source, "core").expect("core header"))
+        .unwrap_or_else(|| panic!("{}: unknown core in header", path.display()));
+    match header_field(source, "mem-model") {
+        Some(label) => core.with_mem_model(
+            mem_model_by_label(label)
+                .unwrap_or_else(|| panic!("{}: unknown mem-model `{label}`", path.display())),
+        ),
+        None => core,
+    }
+}
+
 #[test]
 fn repro_headers_name_a_known_core() {
     for path in repro_files() {
@@ -69,8 +84,7 @@ fn repro_headers_name_a_known_core() {
 fn repros_pass_the_clean_oracle() {
     for path in repro_files() {
         let source = fs::read_to_string(&path).expect("repro is readable");
-        let core =
-            core_by_name(header_field(&source, "core").expect("core header")).expect("known core");
+        let core = recorded_core(&source, &path);
         let program = assemble(&source)
             .unwrap_or_else(|e| panic!("{}: does not assemble: {e}", path.display()));
         let ok = check_program(&program, &OracleConfig::new(core))
@@ -89,8 +103,7 @@ fn redsoc_repros_still_diverge_under_fault_injection() {
             continue;
         }
         exercised += 1;
-        let core =
-            core_by_name(header_field(&source, "core").expect("core header")).expect("known core");
+        let core = recorded_core(&source, &path);
         let program = assemble(&source).expect("repro assembles");
         let mut cfg = OracleConfig::new(core);
         cfg.sabotage_redsoc = true;
