@@ -71,6 +71,8 @@ pub struct JournalRecord {
     pub digest: String,
     /// Attempts the job took when it originally ran (1 = first try).
     pub attempts: u32,
+    /// Scheduled (not elapsed) retry backoff summed across attempts, ms.
+    pub backoff_ms: u64,
     /// Wall-clock seconds the job took when it originally ran.
     pub wall_seconds: f64,
     /// The result summary.
@@ -87,6 +89,10 @@ impl JournalRecord {
             ("attempts", Json::num(f64::from(self.attempts))),
             ("wall_seconds", Json::Num(self.wall_seconds)),
         ];
+        // Only when retries happened: clean-run lines stay byte-identical.
+        if self.backoff_ms > 0 {
+            pairs.push(("backoff_ms", Json::num(self.backoff_ms as f64)));
+        }
         match &self.summary {
             CellSummary::Sim {
                 cycles,
@@ -154,6 +160,7 @@ impl JournalRecord {
         let key = str_field("key")?;
         let digest = str_field("digest")?;
         let attempts = num_field("attempts")? as u32;
+        let backoff_ms = doc.get("backoff_ms").and_then(Json::as_num).unwrap_or(0.0) as u64;
         let wall_seconds = num_field("wall_seconds")?;
         let cycles = num_field("cycles")? as u64;
         let committed = num_field("committed")? as u64;
@@ -207,6 +214,7 @@ impl JournalRecord {
             key,
             digest,
             attempts,
+            backoff_ms,
             wall_seconds,
             summary,
         })
@@ -624,6 +632,7 @@ mod tests {
             key: key.to_string(),
             digest: digest.to_string(),
             attempts: 1,
+            backoff_ms: 0,
             wall_seconds: 0.25,
             summary: CellSummary::Sim {
                 cycles,
@@ -649,6 +658,7 @@ mod tests {
             key: "a/BIG/ts".into(),
             digest: "d2".into(),
             attempts: 2,
+            backoff_ms: 75,
             wall_seconds: 0.5,
             summary: CellSummary::Ts {
                 cycles: 80,
@@ -672,6 +682,9 @@ mod tests {
             j.lookup("a/BIG/ts", "d2").expect("hit").summary,
             CellSummary::Ts { speedup, .. } if (speedup - 1.25).abs() < 1e-12
         ));
+        assert_eq!(j.lookup("a/BIG/ts", "d2").expect("hit").backoff_ms, 75);
+        // An absent backoff field parses as zero.
+        assert_eq!(j.lookup("a/BIG/redsoc", "d1").expect("hit").backoff_ms, 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -23,7 +23,12 @@
 //! - [`json`] — a dependency-free JSON value/emitter/parser for the
 //!   machine-readable `BENCH_sweep.json` output;
 //! - [`microbench`] — a minimal wall-clock micro-benchmark harness for the
-//!   `cargo bench` targets.
+//!   `cargo bench` targets;
+//! - [`worker`] / [`pool`] — the process-isolation tier behind
+//!   `redsoc bench --isolation process`: a length-prefixed frame
+//!   protocol spoken by disposable `redsoc worker` children, and the
+//!   parent-side pool that supervises them with heartbeats, wall-clock
+//!   deadlines, and hard memory budgets.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
@@ -32,8 +37,10 @@ pub mod grid;
 pub mod journal;
 pub mod json;
 pub mod microbench;
+pub mod pool;
 pub mod runner;
 pub mod supervisor;
+pub mod worker;
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};

@@ -26,8 +26,8 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use redsoc_core::config::{CoreConfig, SchedulerConfig};
@@ -43,9 +43,11 @@ use redsoc_isa::trace::DynOp;
 use redsoc_workloads::Benchmark;
 
 use crate::journal::{Journal, JournalRecord};
+use crate::pool::{self, WorkerPoolConfig};
 use crate::supervisor::{
     supervise, CellSummary, Fault, JobError, JobStatus, MemSummary, SupervisorConfig,
 };
+use crate::worker::JobSpec;
 use crate::TraceCache;
 
 pub use crate::grid::{
@@ -164,7 +166,7 @@ fn sim_summary(job: &Job, report: &redsoc_core::stats::SimReport) -> CellSummary
 
 /// Checkpoint context for one supervised sim attempt: which journal the
 /// snapshots go to and the identity they carry.
-struct SnapCtx<'a> {
+pub(crate) struct SnapCtx<'a> {
     journal: &'a Journal,
     key: &'a str,
     digest: &'a str,
@@ -187,6 +189,7 @@ fn sim_attempt(
     sched: SchedulerConfig,
     sup: &SupervisorConfig,
     snap: Option<&SnapCtx<'_>>,
+    progress: Option<&Arc<AtomicU64>>,
 ) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
     let trace = cache.get(job.bench);
     let config = job.core.clone().with_sched(sched);
@@ -213,10 +216,19 @@ fn sim_attempt(
             0,
         ),
     };
-    if let Some(budget) = sup.job_timeout_cycles {
+    if sup.job_timeout_cycles.is_some() || progress.is_some() {
         // The budget is in absolute simulated cycles, so a restored run
         // trips the watchdog at exactly the same cycle a fresh one would.
-        sim = sim.with_cancel(CancelToken::with_budget(budget));
+        // The progress cell (process isolation) piggybacks on the same
+        // poll: the worker heartbeat reads what the token publishes.
+        let mut token = match sup.job_timeout_cycles {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        };
+        if let Some(cell) = progress {
+            token = token.with_progress(Arc::clone(cell));
+        }
+        sim = sim.with_cancel(token);
     }
 
     let rest = trace[cursor..].iter().copied();
@@ -249,6 +261,7 @@ fn sim_attempt(
 fn hang_attempt(
     job: &Job,
     sup: &SupervisorConfig,
+    progress: Option<&Arc<AtomicU64>>,
 ) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
     let sched = job
         .mode
@@ -257,8 +270,15 @@ fn hang_attempt(
     let config = job.core.clone().with_sched(sched);
     let mut ring = RingSink::new(RingSink::DEFAULT_CAP);
     let mut sim = Simulator::new(config).map_err(|e| (JobError::Sim(e), Vec::new()))?;
-    if let Some(budget) = sup.job_timeout_cycles {
-        sim = sim.with_cancel(CancelToken::with_budget(budget));
+    if sup.job_timeout_cycles.is_some() || progress.is_some() {
+        let mut token = match sup.job_timeout_cycles {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        };
+        if let Some(cell) = progress {
+            token = token.with_progress(Arc::clone(cell));
+        }
+        sim = sim.with_cancel(token);
     }
     match sim.run_events(endless_trace(), &mut ring) {
         // Unreachable in practice: the stream never ends.
@@ -294,15 +314,134 @@ fn ts_attempt(
     }
 }
 
+/// Where a cell's attempts execute.
+///
+/// `Thread` is the classic in-process path: cheap, shared trace cache,
+/// but a job that aborts or exhausts memory takes the whole sweep with
+/// it. `Process` ships each attempt to a pooled `redsoc worker` child
+/// over the [`worker`](crate::worker) wire protocol: the parent
+/// supervises heartbeats, enforces wall-clock and memory budgets, and a
+/// worker death degrades to one failed cell.
+#[derive(Debug, Clone, Default)]
+pub enum Isolation {
+    /// Run attempts on the sweep's own threads (the default; results
+    /// are byte-identical to pre-isolation builds).
+    #[default]
+    Thread,
+    /// Run attempts in supervised child processes.
+    Process(WorkerPoolConfig),
+}
+
+/// One supervised attempt body, shared verbatim between thread isolation
+/// (called on a sweep thread) and process isolation (called inside a
+/// `redsoc worker` child): fault injection, TS dispatch, and the
+/// simulator path. `progress` is published to from the [`CancelToken`]
+/// poll so a worker's heartbeat can carry the latest simulated cycle.
+///
+/// The containable faults (`panic`/`fail`/`hang`) execute here under
+/// whichever isolation is active. The destructive faults
+/// (`abort`/`oom`/`freeze`) are executed by the *worker* before it calls
+/// this; reaching them here means thread isolation, where they are
+/// documented as fatal to the whole process.
+pub(crate) fn attempt_with_faults(
+    cache: &TraceCache,
+    job: &Job,
+    ts_base: Option<(u64, u64)>,
+    sup: &SupervisorConfig,
+    attempt: u32,
+    snap: Option<&SnapCtx<'_>>,
+    progress: Option<&Arc<AtomicU64>>,
+) -> Result<(JobOutput, CellSummary), (JobError, Vec<String>)> {
+    let key = job.key();
+    match sup.faults.get(&key) {
+        Some(Fault::Panic { times }) if attempt <= times => {
+            panic!("injected panic for {key} (attempt {attempt})")
+        }
+        Some(Fault::Fail) => Err((
+            JobError::Sim(SimError::BadConfig(format!("injected failure for {key}"))),
+            Vec::new(),
+        )),
+        Some(Fault::Hang) => hang_attempt(job, sup, progress),
+        Some(fault @ (Fault::Abort | Fault::Oom | Fault::Freeze)) => {
+            fatal_destructive_fault(&key, fault)
+        }
+        _ => match (job.mode, ts_base) {
+            (Mode::Ts, Some(base)) => ts_attempt(cache, job, base),
+            (Mode::Ts, None) => Err((
+                JobError::DependencyFailed {
+                    key: Job {
+                        mode: Mode::Baseline,
+                        ..job.clone()
+                    }
+                    .key(),
+                },
+                Vec::new(),
+            )),
+            (_, _) => match job.mode.sched(job.bench) {
+                Some(sched) => sim_attempt(cache, job, sched, sup, snap, progress),
+                None => Err((
+                    JobError::Sim(SimError::BadConfig(format!(
+                        "mode {} has no scheduler",
+                        job.mode.label()
+                    ))),
+                    Vec::new(),
+                )),
+            },
+        },
+    }
+}
+
+/// A destructive injected fault reached in-process: `catch_unwind`
+/// cannot contain it, so fail loudly and immediately rather than let an
+/// `oom` fault eat the machine or a `freeze` wedge the sweep forever.
+fn fatal_destructive_fault(key: &str, fault: Fault) -> ! {
+    eprintln!(
+        "fatal: injected {} fault for {key} cannot be contained by thread isolation; \
+         rerun with --isolation process to degrade it to one quarantined cell",
+        fault.spec()
+    );
+    if matches!(fault, Fault::Oom) {
+        crate::worker::oom_fault_and_abort(key);
+    }
+    std::process::abort();
+}
+
+/// Package one cell attempt for the worker wire protocol.
+fn job_spec(
+    job: &Job,
+    digest: &str,
+    trace_len: u64,
+    sup: &SupervisorConfig,
+    attempt: u32,
+    ts_base: Option<(u64, u64)>,
+) -> JobSpec {
+    JobSpec {
+        bench: job.bench.name().to_string(),
+        core: job.core_name.to_string(),
+        mem_model: job.core.mem_model.label().to_string(),
+        mode: job.mode.label().to_string(),
+        trace_len,
+        digest: digest.to_string(),
+        attempt,
+        budget: sup.job_timeout_cycles,
+        ts_base,
+        fault: sup.faults.get(&job.key()).map(Fault::spec),
+    }
+}
+
 /// Execute one cell under supervision: journal restore, fault injection,
 /// `catch_unwind`, retries, and classification all happen here. `ts_base`
-/// carries the measured baseline for TS jobs.
+/// carries the measured baseline for TS jobs. Under process isolation
+/// the attempt body runs in a pooled worker child instead of this
+/// thread; everything around it — restore, retries, journaling,
+/// classification — is identical.
 fn exec_cell(
     cache: &TraceCache,
     job: &Job,
     ts_base: Option<(u64, u64)>,
     sup: &SupervisorConfig,
     journal: Option<&Journal>,
+    isolation: &Isolation,
 ) -> Cell {
     let key = job.key();
     let digest = job.digest(cache.target_len());
@@ -312,6 +451,7 @@ fn exec_cell(
             status: JobStatus::Ok,
             attempts: rec.attempts,
             restored: true,
+            retry_backoff: Duration::from_millis(rec.backoff_ms),
             wall: Duration::from_secs_f64(rec.wall_seconds.max(0.0)),
             result: None,
             summary: Some(rec.summary.clone()),
@@ -322,52 +462,42 @@ fn exec_cell(
     let start = Instant::now();
     let last_events: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let supervised = supervise(sup, |attempt| {
-        let outcome = match sup.faults.get(&key) {
-            Some(Fault::Panic { times }) if attempt <= times => {
-                panic!("injected panic for {key} (attempt {attempt})")
+        let outcome = match isolation {
+            Isolation::Thread => {
+                // Snapshotting needs both an interval and a journal
+                // to write into; the CLI enforces that pairing, and
+                // library callers simply get no checkpoints.
+                let snap = match (sup.snapshot_interval, journal) {
+                    (Some(every), Some(journal)) => Some(SnapCtx {
+                        journal,
+                        key: &key,
+                        digest: &digest,
+                        every,
+                    }),
+                    _ => None,
+                };
+                attempt_with_faults(cache, job, ts_base, sup, attempt, snap.as_ref(), None)
+                    .map(|(output, summary)| (Some(output), summary))
             }
-            Some(Fault::Fail) => Err((
-                JobError::Sim(SimError::BadConfig(format!("injected failure for {key}"))),
-                Vec::new(),
-            )),
-            Some(Fault::Hang) => hang_attempt(job, sup),
-            _ => match (job.mode, ts_base) {
-                (Mode::Ts, Some(base)) => ts_attempt(cache, job, base),
-                (Mode::Ts, None) => Err((
-                    JobError::DependencyFailed {
-                        key: Job {
-                            mode: Mode::Baseline,
-                            ..job.clone()
-                        }
-                        .key(),
-                    },
-                    Vec::new(),
-                )),
-                (_, _) => match job.mode.sched(job.bench) {
-                    Some(sched) => {
-                        // Snapshotting needs both an interval and a journal
-                        // to write into; the CLI enforces that pairing, and
-                        // library callers simply get no checkpoints.
-                        let snap = match (sup.snapshot_interval, journal) {
-                            (Some(every), Some(journal)) => Some(SnapCtx {
-                                journal,
-                                key: &key,
-                                digest: &digest,
-                                every,
-                            }),
-                            _ => None,
-                        };
-                        sim_attempt(cache, job, sched, sup, snap.as_ref())
-                    }
-                    None => Err((
-                        JobError::Sim(SimError::BadConfig(format!(
-                            "mode {} has no scheduler",
-                            job.mode.label()
-                        ))),
+            Isolation::Process(cfg) => {
+                if job.mode == Mode::Ts && ts_base.is_none() {
+                    // No point shipping a TS cell whose baseline failed
+                    // to a worker; fail it parent-side like thread mode.
+                    Err((
+                        JobError::DependencyFailed {
+                            key: Job {
+                                mode: Mode::Baseline,
+                                ..job.clone()
+                            }
+                            .key(),
+                        },
                         Vec::new(),
-                    )),
-                },
-            },
+                    ))
+                } else {
+                    let spec = job_spec(job, &digest, cache.target_len(), sup, attempt, ts_base);
+                    pool::run_job_attempt(cfg, &spec).map(|summary| (None, summary))
+                }
+            }
         };
         outcome.map_err(|(err, events)| {
             *last_events.lock().unwrap_or_else(PoisonError::into_inner) = events;
@@ -383,6 +513,7 @@ fn exec_cell(
                     key,
                     digest,
                     attempts: supervised.attempts,
+                    backoff_ms: supervised.scheduled_backoff.as_millis() as u64,
                     wall_seconds: wall.as_secs_f64(),
                     summary: summary.clone(),
                 };
@@ -399,8 +530,12 @@ fn exec_cell(
                 status: JobStatus::Ok,
                 attempts: supervised.attempts,
                 restored: false,
+                retry_backoff: supervised.scheduled_backoff,
                 wall,
-                result: Some(JobResult {
+                // Process isolation returns only the journaled summary
+                // (the parent never holds the full report); figure
+                // plotting always runs thread-isolated.
+                result: output.map(|output| JobResult {
                     job: job.clone(),
                     wall,
                     output,
@@ -414,6 +549,7 @@ fn exec_cell(
             status: error.terminal_status(),
             attempts: supervised.attempts,
             restored: false,
+            retry_backoff: supervised.scheduled_backoff,
             wall,
             result: None,
             summary: None,
@@ -446,6 +582,34 @@ pub fn run_grid_supervised(
     sup: &SupervisorConfig,
     journal: Option<&Journal>,
 ) -> Grid {
+    run_grid_isolated(
+        cache,
+        benches,
+        cores,
+        modes,
+        threads,
+        sup,
+        journal,
+        &Isolation::Thread,
+    )
+}
+
+/// [`run_grid_supervised`] with an explicit execution tier. Thread
+/// isolation is byte-identical to [`run_grid_supervised`]; process
+/// isolation ships every attempt to pooled `redsoc worker` children
+/// (see [`Isolation`]).
+#[must_use]
+#[allow(clippy::too_many_arguments)] // the supervised signature + one tier knob
+pub fn run_grid_isolated(
+    cache: &TraceCache,
+    benches: &[Benchmark],
+    cores: &[(&'static str, CoreConfig)],
+    modes: &[Mode],
+    threads: usize,
+    sup: &SupervisorConfig,
+    journal: Option<&Journal>,
+    isolation: &Isolation,
+) -> Grid {
     let start = Instant::now();
     let want_ts = modes.contains(&Mode::Ts);
     let mut sim_modes: Vec<Mode> = modes.iter().copied().filter(|m| *m != Mode::Ts).collect();
@@ -455,12 +619,16 @@ pub fn run_grid_supervised(
 
     // Pre-generate traces in parallel: distinct benchmarks don't contend.
     // A panicking generator is caught here and again — properly
-    // classified — when the first job for that benchmark runs.
-    run_parallel(benches, threads, |b| {
-        let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _ = cache.get(*b);
-        }));
-    });
+    // classified — when the first job for that benchmark runs. Skipped
+    // under process isolation: the parent never simulates, and each
+    // worker keeps its own cache warm across the jobs it executes.
+    if matches!(isolation, Isolation::Thread) {
+        run_parallel(benches, threads, |b| {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _ = cache.get(*b);
+            }));
+        });
+    }
 
     let mut jobs = Vec::new();
     for bench in benches {
@@ -477,7 +645,7 @@ pub fn run_grid_supervised(
     }
 
     let cells = run_parallel(&jobs, threads, |job| {
-        exec_cell(cache, job, None, sup, journal)
+        exec_cell(cache, job, None, sup, journal, isolation)
     });
     let mut map: HashMap<(Benchmark, &'static str, Mode), Cell> = cells
         .into_iter()
@@ -515,6 +683,7 @@ pub fn run_grid_supervised(
                 baselines[&(job.bench, job.core_name)],
                 sup,
                 journal,
+                isolation,
             )
         });
         map.extend(
@@ -522,6 +691,14 @@ pub fn run_grid_supervised(
                 .into_iter()
                 .map(|c| ((c.job.bench, c.job.core_name, c.job.mode), c)),
         );
+    }
+
+    // Workers owned by scoped sweep threads shut down with their
+    // threads' TLS destructors at each wave's end; a worker owned by
+    // *this* thread (threads == 1, or single-item waves) is shut down
+    // here so no child outlives the sweep.
+    if matches!(isolation, Isolation::Process(_)) {
+        pool::shutdown_local_worker();
     }
 
     Grid {

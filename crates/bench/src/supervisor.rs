@@ -47,6 +47,27 @@ pub enum JobError {
         /// Key of the failed dependency.
         key: String,
     },
+    /// A process-isolation worker died from a signal mid-job (crash,
+    /// abort, external kill).
+    Killed {
+        /// The fatal signal number.
+        signal: i32,
+    },
+    /// A process-isolation worker exceeded its `--mem-limit-mb` address
+    /// space budget and was killed by its own allocation-failure abort.
+    OomKilled,
+    /// A process-isolation worker stopped emitting heartbeat frames and
+    /// was killed by the supervisor's SIGKILL backstop.
+    HeartbeatLost {
+        /// The heartbeat window that elapsed without a frame.
+        timeout_ms: u64,
+    },
+    /// The worker protocol broke down: a torn or malformed frame, an
+    /// oversized length prefix, or a worker that exited cleanly mid-job.
+    ProtocolError {
+        /// What went wrong on the wire.
+        detail: String,
+    },
 }
 
 impl JobError {
@@ -59,15 +80,28 @@ impl JobError {
             JobError::Timeout { .. } => "timeout",
             JobError::Poisoned => "poisoned",
             JobError::DependencyFailed { .. } => "dependency",
+            JobError::Killed { .. } => "killed",
+            JobError::OomKilled => "oom-killed",
+            JobError::HeartbeatLost { .. } => "heartbeat-lost",
+            JobError::ProtocolError { .. } => "protocol",
         }
     }
 
-    /// Whether retrying could plausibly succeed. Panics and poisoning can
-    /// be environmental (another worker's crash, a bug tripped by timing);
-    /// simulator errors and cycle budgets are deterministic.
+    /// Whether retrying could plausibly succeed. Panics, poisoning, and
+    /// every worker-death mode can be environmental (another worker's
+    /// crash, an external kill, a bug tripped by timing); simulator
+    /// errors and cycle budgets are deterministic.
     #[must_use]
     pub fn is_transient(&self) -> bool {
-        matches!(self, JobError::Panicked { .. } | JobError::Poisoned)
+        matches!(
+            self,
+            JobError::Panicked { .. }
+                | JobError::Poisoned
+                | JobError::Killed { .. }
+                | JobError::OomKilled
+                | JobError::HeartbeatLost { .. }
+                | JobError::ProtocolError { .. }
+        )
     }
 
     /// The terminal [`JobStatus`] for a job that failed with this error
@@ -76,7 +110,12 @@ impl JobError {
     pub fn terminal_status(&self) -> JobStatus {
         match self {
             JobError::Timeout { .. } => JobStatus::Timeout,
-            JobError::Panicked { .. } | JobError::Poisoned => JobStatus::Quarantined,
+            JobError::Panicked { .. }
+            | JobError::Poisoned
+            | JobError::Killed { .. }
+            | JobError::OomKilled
+            | JobError::HeartbeatLost { .. }
+            | JobError::ProtocolError { .. } => JobStatus::Quarantined,
             JobError::Sim(_) | JobError::DependencyFailed { .. } => JobStatus::Failed,
         }
     }
@@ -93,6 +132,18 @@ impl core::fmt::Display for JobError {
             JobError::Poisoned => write!(f, "shared state poisoned by another worker's panic"),
             JobError::DependencyFailed { key } => {
                 write!(f, "dependency {key} did not complete")
+            }
+            JobError::Killed { signal } => {
+                write!(f, "worker killed by signal {signal}")
+            }
+            JobError::OomKilled => {
+                write!(f, "worker exceeded its memory budget and was killed")
+            }
+            JobError::HeartbeatLost { timeout_ms } => {
+                write!(f, "worker heartbeat lost for {timeout_ms} ms")
+            }
+            JobError::ProtocolError { detail } => {
+                write!(f, "worker protocol error: {detail}")
             }
         }
     }
@@ -232,6 +283,65 @@ pub enum Fault {
     Hang,
     /// Fail deterministically with a simulator error.
     Fail,
+    /// `abort()` the executing process. Under `--isolation process` this
+    /// kills one disposable worker (classified `killed`); under thread
+    /// isolation it is fatal to the whole sweep — the exact failure mode
+    /// process isolation exists to contain.
+    Abort,
+    /// Allocate address space until the allocator fails. Under a worker
+    /// `--mem-limit-mb` rlimit the allocation failure aborts the worker
+    /// (classified `oom-killed`); without a limit the allocation is
+    /// capped and ends in an abort, so thread-isolation runs die rather
+    /// than eat the machine.
+    Oom,
+    /// Stop emitting heartbeats and park forever: exercises the parent's
+    /// heartbeat-loss SIGKILL backstop. Fatal (an abort) under thread
+    /// isolation, which has no heartbeat to lose.
+    Freeze,
+}
+
+impl Fault {
+    /// The `REDSOC_FAULT` spec string for this fault (round-trips through
+    /// [`Fault::parse_kind`]); also the wire form forwarded to isolation
+    /// workers in job frames.
+    #[must_use]
+    pub fn spec(self) -> String {
+        match self {
+            Fault::Panic { times } => format!("panic:{times}"),
+            Fault::Hang => "hang".to_string(),
+            Fault::Fail => "fail".to_string(),
+            Fault::Abort => "abort".to_string(),
+            Fault::Oom => "oom".to_string(),
+            Fault::Freeze => "freeze".to_string(),
+        }
+    }
+
+    /// Parse one fault kind (the part after `=` in a `REDSOC_FAULT`
+    /// entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unknown or malformed kind.
+    pub fn parse_kind(kind: &str) -> Result<Fault, String> {
+        match kind.trim() {
+            "hang" => Ok(Fault::Hang),
+            "fail" => Ok(Fault::Fail),
+            "abort" => Ok(Fault::Abort),
+            "oom" => Ok(Fault::Oom),
+            "freeze" => Ok(Fault::Freeze),
+            "panic" => Ok(Fault::Panic { times: 1 }),
+            other => match other.strip_prefix("panic:") {
+                Some(n) => Ok(Fault::Panic {
+                    times: n
+                        .parse()
+                        .map_err(|e| format!("bad panic count in {kind:?}: {e}"))?,
+                }),
+                None => Err(format!(
+                    "unknown fault kind {other:?} (panic|panic:N|hang|fail|abort|oom|freeze)"
+                )),
+            },
+        }
+    }
 }
 
 /// A set of injected faults keyed by job (`bench/CORE/mode`).
@@ -269,7 +379,7 @@ impl FaultPlan {
     /// Parse a plan from the `REDSOC_FAULT` syntax:
     /// comma-separated `bench/CORE/mode=kind` entries where `kind` is
     /// `panic` (panic once), `panic:N` (panic on the first N attempts),
-    /// `hang`, or `fail`.
+    /// `hang`, `fail`, `abort`, `oom`, or `freeze`.
     ///
     /// # Errors
     ///
@@ -280,23 +390,8 @@ impl FaultPlan {
             let (key, kind) = entry
                 .split_once('=')
                 .ok_or_else(|| format!("fault entry {entry:?} is not key=kind"))?;
-            let fault = match kind.trim() {
-                "hang" => Fault::Hang,
-                "fail" => Fault::Fail,
-                "panic" => Fault::Panic { times: 1 },
-                other => match other.strip_prefix("panic:") {
-                    Some(n) => Fault::Panic {
-                        times: n
-                            .parse()
-                            .map_err(|e| format!("bad panic count in {entry:?}: {e}"))?,
-                    },
-                    None => {
-                        return Err(format!(
-                            "unknown fault kind {other:?} (panic|panic:N|hang|fail)"
-                        ))
-                    }
-                },
-            };
+            let fault =
+                Fault::parse_kind(kind).map_err(|e| format!("fault entry {entry:?}: {e}"))?;
             plan.faults.insert(key.trim().to_string(), fault);
         }
         Ok(plan)
@@ -366,6 +461,12 @@ pub struct Supervised<R> {
     pub result: Result<R, JobError>,
     /// Attempts made (1 for a first-try success).
     pub attempts: u32,
+    /// Sum of the *scheduled* retry backoffs (`Σ backoff(n)` over every
+    /// retried attempt). Recorded instead of elapsed sleep time so the
+    /// per-job sweep JSON stays deterministic across machines and
+    /// scheduler jitter — two runs that retried identically report the
+    /// identical delay.
+    pub scheduled_backoff: Duration,
 }
 
 /// Run `attempt_fn` under supervision: panics are caught and classified,
@@ -379,6 +480,7 @@ pub fn supervise<R>(
     mut attempt_fn: impl FnMut(u32) -> Result<R, JobError>,
 ) -> Supervised<R> {
     let mut attempts = 0;
+    let mut scheduled_backoff = Duration::ZERO;
     loop {
         attempts += 1;
         let outcome =
@@ -392,10 +494,12 @@ pub fn supervise<R>(
                 return Supervised {
                     result: Ok(value),
                     attempts,
+                    scheduled_backoff,
                 }
             }
             Err(err) if err.is_transient() && attempts <= cfg.max_retries => {
                 let backoff = cfg.backoff(attempts);
+                scheduled_backoff += backoff;
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
@@ -404,6 +508,7 @@ pub fn supervise<R>(
                 return Supervised {
                     result: Err(err),
                     attempts,
+                    scheduled_backoff,
                 }
             }
         }
@@ -411,7 +516,7 @@ pub fn supervise<R>(
 }
 
 /// Best-effort stringification of a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -524,5 +629,76 @@ mod tests {
             JobStatus::Quarantined
         );
         assert_eq!(JobError::Poisoned.terminal_status(), JobStatus::Quarantined);
+    }
+
+    #[test]
+    fn worker_death_errors_are_transient_and_quarantine() {
+        for err in [
+            JobError::Killed { signal: 9 },
+            JobError::OomKilled,
+            JobError::HeartbeatLost { timeout_ms: 500 },
+            JobError::ProtocolError {
+                detail: "torn frame".into(),
+            },
+        ] {
+            assert!(err.is_transient(), "{err} must be retryable");
+            assert_eq!(err.terminal_status(), JobStatus::Quarantined);
+        }
+        assert_eq!(JobError::Killed { signal: 6 }.kind(), "killed");
+        assert_eq!(JobError::OomKilled.kind(), "oom-killed");
+        assert_eq!(
+            JobError::HeartbeatLost { timeout_ms: 1 }.kind(),
+            "heartbeat-lost"
+        );
+        assert_eq!(
+            JobError::ProtocolError { detail: "x".into() }.kind(),
+            "protocol"
+        );
+    }
+
+    #[test]
+    fn fault_specs_round_trip_and_parse() {
+        for fault in [
+            Fault::Panic { times: 3 },
+            Fault::Hang,
+            Fault::Fail,
+            Fault::Abort,
+            Fault::Oom,
+            Fault::Freeze,
+        ] {
+            assert_eq!(Fault::parse_kind(&fault.spec()), Ok(fault));
+        }
+        let plan = FaultPlan::parse("a/B/c=abort,d/E/f=oom,g/H/i=freeze").expect("valid");
+        assert_eq!(plan.get("a/B/c"), Some(Fault::Abort));
+        assert_eq!(plan.get("d/E/f"), Some(Fault::Oom));
+        assert_eq!(plan.get("g/H/i"), Some(Fault::Freeze));
+    }
+
+    #[test]
+    fn scheduled_backoff_sums_the_planned_delays_not_elapsed_time() {
+        // Zero base: no wall-clock is spent, yet the *scheduled* total is
+        // still well-defined (zero) and deterministic.
+        let s = supervise(&fast(), |attempt| -> Result<(), JobError> {
+            panic!("always broken (attempt {attempt})");
+        });
+        assert_eq!(s.scheduled_backoff, Duration::ZERO);
+
+        // 1ms base, two retries: 1ms + 2ms scheduled, whatever the OS
+        // actually slept.
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let s = supervise(&cfg, |attempt| {
+            if attempt <= 2 {
+                panic!("transient (attempt {attempt})");
+            }
+            Ok::<_, JobError>(())
+        });
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.scheduled_backoff, Duration::from_millis(3));
+        let s = supervise(&cfg, |_| Ok::<_, JobError>(()));
+        assert_eq!(s.scheduled_backoff, Duration::ZERO, "clean run: no backoff");
     }
 }

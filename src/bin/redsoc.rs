@@ -27,7 +27,10 @@
 use std::process::ExitCode;
 
 use redsoc::bench::journal::Journal;
-use redsoc::bench::runner::{canonicalize_sweep, run_grid_supervised, sweep_json, Mode};
+use redsoc::bench::pool::WorkerPoolConfig;
+use redsoc::bench::runner::{
+    canonicalize_sweep, run_grid_isolated, run_grid_supervised, sweep_json, Isolation, Mode,
+};
 use redsoc::bench::supervisor::{FaultPlan, SupervisorConfig};
 use redsoc::core::sched::ts::run_ts;
 use redsoc::prelude::*;
@@ -447,6 +450,10 @@ fn cmd_bench(args: &[String]) -> CliResult {
             "backoff-ms",
             "snapshot-interval",
             "mem-model",
+            "isolation",
+            "mem-limit-mb",
+            "worker-recycle",
+            "heartbeat-timeout-ms",
         ],
     )?;
     let threads = flags.num("threads", redsoc::bench::threads())?.max(1);
@@ -489,6 +496,59 @@ fn cmd_bench(args: &[String]) -> CliResult {
         sup.snapshot_interval = Some(cycles);
     }
 
+    let isolation = match flags.get("isolation").unwrap_or("thread") {
+        "thread" => {
+            for f in ["mem-limit-mb", "worker-recycle", "heartbeat-timeout-ms"] {
+                if flags.get(f).is_some() {
+                    return Err(usage_err(format!("--{f} requires --isolation process")));
+                }
+            }
+            Isolation::Thread
+        }
+        "process" => {
+            // Mid-job snapshots are journal writes made from inside the
+            // attempt; a worker child has no journal handle, so honouring
+            // the flag silently would drop the crash-safety it promises.
+            if sup.snapshot_interval.is_some() {
+                return Err(usage_err(
+                    "--snapshot-interval is not supported with --isolation process \
+                     (workers cannot write in-flight checkpoints; completed cells \
+                     still journal normally)",
+                ));
+            }
+            let exe = std::env::current_exe()
+                .map_err(|e| CliError::Io(format!("cannot locate own binary: {e}")))?;
+            let mut cfg = WorkerPoolConfig::new(exe);
+            if flags.get("mem-limit-mb").is_some() {
+                let mb: u64 = flags.num("mem-limit-mb", 0u64)?;
+                if mb == 0 {
+                    return Err(usage_err("--mem-limit-mb must be a positive MiB count"));
+                }
+                cfg.mem_limit_mb = Some(mb);
+            }
+            cfg.recycle_after = flags.num("worker-recycle", cfg.recycle_after)?;
+            if cfg.recycle_after == 0 {
+                return Err(usage_err("--worker-recycle must be a positive job count"));
+            }
+            let hb: u64 = flags.num(
+                "heartbeat-timeout-ms",
+                cfg.heartbeat_timeout.as_millis() as u64,
+            )?;
+            if hb == 0 {
+                return Err(usage_err(
+                    "--heartbeat-timeout-ms must be a positive duration",
+                ));
+            }
+            cfg.heartbeat_timeout = std::time::Duration::from_millis(hb);
+            Isolation::Process(cfg)
+        }
+        other => {
+            return Err(usage_err(format!(
+                "unknown isolation {other:?} (accepted: --isolation thread|process)"
+            )))
+        }
+    };
+
     let mut journal = match (flags.get("resume"), flags.get("journal")) {
         (Some(_), Some(_)) => {
             return Err(usage_err(
@@ -500,10 +560,16 @@ fn cmd_bench(args: &[String]) -> CliResult {
             Journal::resume(path)
                 .map_err(|e| CliError::Io(format!("cannot resume {path}: {e}")))?,
         ),
-        (None, Some(path)) => Some(
-            Journal::create(path)
-                .map_err(|e| CliError::Io(format!("cannot create journal {path}: {e}")))?,
-        ),
+        (None, Some(path)) => Some(Journal::create(path).map_err(|e| {
+            // A journal that cannot even be created is an invocation
+            // problem, not a mid-sweep I/O failure: fail fast (exit 2)
+            // with the likely fix, before any simulation time is spent.
+            usage_err(format!(
+                "cannot create journal {path}: {e}\n\
+                 hint: the journal's parent directory must already exist and be \
+                 writable (mkdir -p it first, or point --journal at a writable path)"
+            ))
+        })?),
         (None, None) => None,
     };
     // Crash-injection hook for the resume tests: die (exit 86) after the
@@ -536,7 +602,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
     }
 
     let cache = redsoc::bench::TraceCache::new(len);
-    let grid = run_grid_supervised(
+    let grid = run_grid_isolated(
         &cache,
         &Benchmark::all(),
         &cores,
@@ -544,6 +610,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         threads,
         &sup,
         journal.as_ref(),
+        &isolation,
     );
     // Tail-window safety: fsync the journal before the sweep document is
     // written, so a kill between "last job done" and "sweep JSON on disk"
@@ -623,6 +690,7 @@ fn cmd_chaos(args: &[String]) -> CliResult {
             "seed",
             "snapshot-interval",
             "dir",
+            "worker-kills",
         ],
     )?;
     let threads: usize = flags.num("threads", redsoc::bench::threads())?.max(1);
@@ -669,11 +737,120 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     std::fs::write(&reference_path, sweep_json(&grid, len).pretty())
         .map_err(|e| CliError::Io(format!("cannot write {}: {e}", reference_path.display())))?;
 
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("cannot locate own binary: {e}")))?;
+
+    // Worker-kill storm: instead of killing the whole child sweep, run it
+    // under process isolation and SIGKILL/SIGABRT its *workers* while it
+    // runs. The sweep itself must survive every storm hit (exit 0) —
+    // killed attempts retry onto fresh workers — and still reproduce the
+    // thread-isolation reference exactly. This proves both containment
+    // and thread/process result equivalence in one check.
+    let worker_kills: u64 = flags.num("worker-kills", 0u64)?;
+    if worker_kills > 0 {
+        let journal = dir.join("chaos-workers.jnl");
+        let out = dir.join("chaos-workers.json");
+        std::fs::remove_file(&journal).ok();
+        let mut child = {
+            let mut c = std::process::Command::new(&exe);
+            c.arg("bench")
+                .args(["--threads", &threads.to_string()])
+                .args(["--len", &len.to_string()])
+                .args(["--isolation", "process"])
+                // Deep retry budget: every storm hit must be absorbable.
+                .args(["--max-retries", "8"])
+                .args(["--backoff-ms", "10"])
+                .arg("--journal")
+                .arg(&journal)
+                .arg("--out")
+                .arg(&out)
+                .env_remove("REDSOC_FAULT")
+                .env_remove("REDSOC_DIE_AFTER_JOBS")
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null());
+            c.spawn()
+                .map_err(|e| CliError::Io(format!("cannot spawn child sweep: {e}")))?
+        };
+        let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if rng == 0 {
+            rng = 0x2545_F491_4F6C_DD1D;
+        }
+        let mut performed = 0u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+        while performed < worker_kills {
+            if let Some(status) = child
+                .try_wait()
+                .map_err(|e| CliError::Io(format!("cannot poll child sweep: {e}")))?
+            {
+                return Err(CliError::Io(format!(
+                    "child sweep completed ({status}) after only {performed} of \
+                     {worker_kills} worker kill(s); use a longer --len or fewer kills"
+                )));
+            }
+            if std::time::Instant::now() > deadline {
+                child.kill().ok();
+                child.wait().ok();
+                return Err(CliError::Io(
+                    "could not land the requested worker kills within 300s".into(),
+                ));
+            }
+            let workers = redsoc::bench::pool::worker_children_of(child.id());
+            if workers.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                continue;
+            }
+            let victim = workers[(xorshift64(&mut rng) as usize) % workers.len()];
+            // Alternate SIGKILL (no cleanup at all) and SIGABRT (the
+            // failure path a real crash takes) by seeded coin flip.
+            let signal = if xorshift64(&mut rng) & 1 == 0 { 9 } else { 6 };
+            if redsoc::bench::pool::kill_pid(victim, signal) {
+                performed += 1;
+                println!(
+                    "chaos: worker kill {performed}/{worker_kills} \
+                     (pid {victim}, signal {signal})"
+                );
+            }
+            std::thread::sleep(std::time::Duration::from_millis(
+                10 + (xorshift64(&mut rng) % 40),
+            ));
+        }
+        let status = child
+            .wait()
+            .map_err(|e| CliError::Io(format!("cannot wait for child sweep: {e}")))?;
+        if !status.success() {
+            return Err(CliError::Io(format!(
+                "process-isolated sweep did not absorb the worker kills ({status}); \
+                 artifacts kept in {}",
+                dir.display()
+            )));
+        }
+        let text = std::fs::read_to_string(&out)
+            .map_err(|e| CliError::Io(format!("cannot read {}: {e}", out.display())))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| CliError::Io(format!("storm sweep output is not valid JSON: {e}")))?;
+        if canonicalize_sweep(&doc) == reference {
+            println!(
+                "chaos: survived {worker_kills} worker kill(s); process-isolated sweep is \
+                 identical to the uninterrupted thread-isolation reference after \
+                 canonicalisation"
+            );
+            if !keep_dir {
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            return Ok(());
+        }
+        return Err(CliError::Io(format!(
+            "storm sweep differs from the uninterrupted reference; artifacts kept in {} \
+             (compare with: redsoc sweepcmp {} {})",
+            dir.display(),
+            reference_path.display(),
+            out.display()
+        )));
+    }
+
     let journal = dir.join("chaos.jnl");
     let out = dir.join("chaos.json");
     std::fs::remove_file(&journal).ok();
-    let exe = std::env::current_exe()
-        .map_err(|e| CliError::Io(format!("cannot locate own binary: {e}")))?;
     let spawn = |resume: bool| -> Result<std::process::Child, CliError> {
         let mut c = std::process::Command::new(&exe);
         c.arg("bench")
@@ -775,6 +952,34 @@ fn cmd_chaos(args: &[String]) -> CliResult {
     }
 }
 
+/// The child half of `bench --isolation process`: speak the frame
+/// protocol on stdin/stdout until the parent shuts us down. Spawned by
+/// the worker pool, not by operators — but runnable by hand for
+/// debugging (feed it frames, watch replies).
+fn cmd_worker(args: &[String]) -> CliResult {
+    use redsoc::bench::worker::{run_worker, WorkerOptions};
+    let flags = Flags::parse(args, &["mem-limit-mb", "heartbeat-ms"])?;
+    let mem_limit_mb = match flags.get("mem-limit-mb") {
+        Some(_) => {
+            let mb: u64 = flags.num("mem-limit-mb", 0u64)?;
+            if mb == 0 {
+                return Err(usage_err("--mem-limit-mb must be a positive MiB count"));
+            }
+            Some(mb)
+        }
+        None => None,
+    };
+    let heartbeat_ms: u64 = flags.num("heartbeat-ms", 250u64)?;
+    if heartbeat_ms == 0 {
+        return Err(usage_err("--heartbeat-ms must be a positive duration"));
+    }
+    run_worker(&WorkerOptions {
+        mem_limit_mb,
+        heartbeat_ms,
+    })
+    .map_err(CliError::Io)
+}
+
 fn cmd_sweepcmp(args: &[String]) -> CliResult {
     use redsoc::bench::json::Json;
     let [a, b] = args else {
@@ -792,7 +997,8 @@ fn cmd_sweepcmp(args: &[String]) -> CliResult {
     let (da, db) = (load(a)?, load(b)?);
     if da == db {
         println!(
-            "sweeps match after canonicalisation (wall-clock and thread-count fields ignored)"
+            "sweeps match after canonicalisation (wall-clock, thread-count, and \
+             retry-provenance fields ignored)"
         );
         Ok(())
     } else {
@@ -1075,12 +1281,22 @@ fn usage() -> String {
      \x20                          --max-retries N  retries for transient failures\n\
      \x20                          --backoff-ms N   retry backoff base\n\
      \x20                          --snapshot-interval N  checkpoint in-flight jobs every\n\
-     \x20                          N cycles into the journal (needs --journal/--resume))\n\
+     \x20                          N cycles into the journal (needs --journal/--resume)\n\
+     \x20                          --isolation thread|process  run each cell in-thread\n\
+     \x20                          (default) or in supervised worker child processes;\n\
+     \x20                          with process: --mem-limit-mb N  per-worker RLIMIT_AS,\n\
+     \x20                          --worker-recycle N  retire workers after N jobs,\n\
+     \x20                          --heartbeat-timeout-ms N  kill silent workers)\n\
+     \x20 worker [flags]           internal: one pool worker child (spawned by\n\
+     \x20                          bench --isolation process; speaks frames on stdio)\n\
      \x20 chaos [flags]            crash-safety proof: SIGKILL a child sweep mid-job\n\
      \x20                          --kills times (default 5), resume each time, and\n\
      \x20                          require the final sweep to match an uninterrupted\n\
      \x20                          reference (--seed N  --len N  --threads N\n\
-     \x20                          --snapshot-interval N  --dir DIR keeps artifacts)\n\
+     \x20                          --snapshot-interval N  --dir DIR keeps artifacts;\n\
+     \x20                          --worker-kills N  storm mode: SIGKILL/SIGABRT the\n\
+     \x20                          workers of a process-isolated sweep instead — the\n\
+     \x20                          sweep must absorb every kill and still match)\n\
      \x20 sweepcmp <a> <b>         compare two sweep JSONs, ignoring wall-clock and thread count\n\
      \x20 perfgate <base> <fresh>  perf-regression gate: fail if <fresh> is more than\n\
      \x20                          --tolerance percent (default 15) slower in cpu_seconds\n\
@@ -1108,6 +1324,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("sweepcmp") => cmd_sweepcmp(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),

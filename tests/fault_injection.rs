@@ -250,6 +250,35 @@ fn cli_maps_errors_to_structured_exit_codes() {
         &["bench", "--snapshot-interval", "4096"],
         &["chaos", "--kills", "0"],
         &["chaos", "--seed", "frog"],
+        // Process-isolation flag validation: the worker knobs make no
+        // sense without the process tier, the degenerate values are
+        // operator mistakes, and mid-job snapshots need a journal the
+        // workers don't have.
+        &["bench", "--isolation", "warp"],
+        &["bench", "--mem-limit-mb", "512"],
+        &["bench", "--worker-recycle", "8"],
+        &["bench", "--heartbeat-timeout-ms", "500"],
+        &["bench", "--isolation", "process", "--mem-limit-mb", "0"],
+        &["bench", "--isolation", "process", "--worker-recycle", "0"],
+        &[
+            "bench",
+            "--isolation",
+            "process",
+            "--heartbeat-timeout-ms",
+            "0",
+        ],
+        &[
+            "bench",
+            "--isolation",
+            "process",
+            "--snapshot-interval",
+            "4096",
+            "--journal",
+            "x.jnl",
+        ],
+        &["worker", "--heartbeat-ms", "0"],
+        &["worker", "--mem-limit-mb", "0"],
+        &["chaos", "--worker-kills", "frog"],
         &["frobnicate"],
     ];
     for args in cases {
@@ -462,6 +491,200 @@ fn chaos_harness_survives_seeded_kill_loop() {
     assert!(
         stdout.contains("kill 3/3") && stdout.contains("identical"),
         "chaos reports every kill and the final byte-identity: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn process_isolation_matches_thread_isolation_and_contains_destructive_faults() {
+    // The process-isolation acceptance path, end to end:
+    //  1. a clean process-isolated sweep is canonically identical to the
+    //     thread-isolated reference;
+    //  2. injected abort and oom faults — fatal to the whole run under
+    //     thread isolation — degrade to two quarantined cells with the
+    //     right error kinds (killed / oom-killed) and exit 4;
+    //  3. resuming the degraded journal without the faults completes the
+    //     two cells and reproduces the reference exactly.
+    let dir = tmp_dir("prociso");
+    let reference = dir.join("thread.json");
+    let process = dir.join("process.json");
+    let degraded = dir.join("degraded.json");
+    let repaired = dir.join("repaired.json");
+    let journal = dir.join("proc.jnl");
+
+    let out = run(redsoc().args(bench_args(&reference)));
+    assert_eq!(exit_code(&out), 0, "thread reference must succeed: {out:?}");
+
+    let out = run(redsoc()
+        .args(bench_args(&process))
+        .args(["--isolation", "process"]));
+    assert_eq!(exit_code(&out), 0, "process sweep must succeed: {out:?}");
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &reference.display().to_string(),
+        &process.display().to_string(),
+    ]));
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "process isolation must not change results: {out:?}"
+    );
+
+    let out = run(redsoc()
+        .args(bench_args(&degraded))
+        .args(["--isolation", "process", "--mem-limit-mb", "1024"])
+        .args(["--journal", &journal.display().to_string()])
+        .env(
+            "REDSOC_FAULT",
+            "crc/BIG/redsoc=abort,bitcnt/SMALL/redsoc=oom",
+        ));
+    assert_eq!(exit_code(&out), 4, "degraded sweep exits 4: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 failed cell(s)"),
+        "both destructive faults quarantine: {stderr}"
+    );
+    let degraded_doc = load_sweep(&degraded);
+    let aborted = status_of(&degraded_doc, "crc/BIG/redsoc");
+    assert_eq!(
+        aborted.get("status").and_then(Json::as_str),
+        Some("quarantined")
+    );
+    assert_eq!(
+        aborted
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("killed"),
+        "an aborting worker is a signal death: {aborted:?}"
+    );
+    let oomed = status_of(&degraded_doc, "bitcnt/SMALL/redsoc");
+    assert_eq!(
+        oomed
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("oom-killed"),
+        "an allocation-failure abort under --mem-limit-mb reads as oom: {oomed:?}"
+    );
+    assert_eq!(
+        oomed.get("attempts").and_then(Json::as_num),
+        Some(2.0),
+        "worker deaths are transient: one try + one retry"
+    );
+
+    // Clean resume: only the two quarantined cells re-run, faultless.
+    let out = run(redsoc()
+        .args(bench_args(&repaired))
+        .args(["--isolation", "process"])
+        .args(["--resume", &journal.display().to_string()]));
+    assert_eq!(exit_code(&out), 0, "clean resume completes: {out:?}");
+    let out = run(redsoc().args([
+        "sweepcmp",
+        &reference.display().to_string(),
+        &repaired.display().to_string(),
+    ]));
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "repaired sweep must match the thread reference: {out:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn freeze_fault_is_reaped_by_heartbeat_supervision() {
+    // A frozen worker (stops heartbeating, never replies, never exits)
+    // is exactly what the SIGKILL backstop exists for: the parent must
+    // reap it after --heartbeat-timeout-ms, record heartbeat-lost, and
+    // fail the dependent TS cell rather than wait forever.
+    let dir = tmp_dir("freeze");
+    let out_path = dir.join("frozen.json");
+    let out = run(redsoc()
+        .args(bench_args(&out_path))
+        .args(["--isolation", "process", "--heartbeat-timeout-ms", "1500"])
+        .args(["--max-retries", "0"])
+        .env("REDSOC_FAULT", "CONV/MEDIUM/baseline=freeze"));
+    assert_eq!(
+        exit_code(&out),
+        4,
+        "frozen cell degrades the sweep: {out:?}"
+    );
+    let doc = load_sweep(&out_path);
+    let frozen = status_of(&doc, "CONV/MEDIUM/baseline");
+    assert_eq!(
+        frozen
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("heartbeat-lost"),
+        "silence past the deadline is heartbeat loss: {frozen:?}"
+    );
+    let ts = status_of(&doc, "CONV/MEDIUM/ts");
+    assert_eq!(
+        ts.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("dependency"),
+        "TS cannot run on a baseline the supervisor had to shoot: {ts:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_worker_kill_storm_is_absorbed_with_identical_results() {
+    // The worker-kill storm mode: SIGKILL/SIGABRT three live workers of
+    // a process-isolated child sweep. The sweep must absorb every kill
+    // (exit 0 — retries land on fresh workers) and still reproduce the
+    // thread-isolation reference. Mirrors the CI chaos-worker-smoke step.
+    let dir = tmp_dir("workerstorm");
+    let out = run(redsoc().args([
+        "chaos",
+        "--threads",
+        THREADS,
+        "--len",
+        LEN,
+        "--worker-kills",
+        "3",
+        "--seed",
+        "11",
+        "--dir",
+        &dir.display().to_string(),
+    ]));
+    assert_eq!(exit_code(&out), 0, "storm must be absorbed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("worker kill 3/3") && stdout.contains("identical"),
+        "storm reports every kill and the final identity: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unwritable_journal_parent_dir_fails_fast_as_usage_error() {
+    // --journal pointing into a directory that doesn't exist must fail
+    // before any simulation runs: exit 2 (usage), with a hint naming the
+    // fix, and no partial output artifacts.
+    let dir = tmp_dir("badjournal");
+    let out_path = dir.join("never.json");
+    let bogus = dir.join("no-such-subdir").join("sweep.jnl");
+    let out = run(redsoc()
+        .args(bench_args(&out_path))
+        .args(["--journal", &bogus.display().to_string()]));
+    assert_eq!(
+        exit_code(&out),
+        2,
+        "unwritable journal path is a usage error: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create journal") && stderr.contains("hint:"),
+        "error carries the writable-parent-directory hint: {stderr}"
+    );
+    assert!(
+        !out_path.exists(),
+        "failing fast means no sweep output was written"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
